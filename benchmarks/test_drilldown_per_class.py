@@ -1,0 +1,97 @@
+"""Drill-down — per-class scores and query alignment (Sec. V narrative).
+
+The paper's analysis beyond the headline curves: on Volta, `dial` has the
+lowest per-class F1 and is therefore the most-queried anomaly; the query
+mix concentrates on the classes the model is worst at. This bench
+regenerates those numbers: per-class F1 of the full-training-set model,
+the top confusion pairs, and each anomaly's share of the uncertainty
+strategy's queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_preps, write_artifact
+from repro.experiments import (
+    RF_PARAMS,
+    confusion_pairs,
+    format_table,
+    hardest_anomaly,
+    per_class_report,
+    run_methods,
+)
+from repro.experiments.analysis import queried_class_alignment
+from repro.mlcore import RandomForestClassifier
+
+
+@pytest.mark.benchmark(group="drilldown")
+def test_drilldown_per_class(benchmark):
+    prep = make_preps("volta", method="mvts", n_splits=1)[0]
+
+    def run():
+        X = np.vstack([prep.X_seed, prep.X_pool])
+        y = np.concatenate([prep.y_seed, prep.y_pool])
+        model = RandomForestClassifier(random_state=0, **RF_PARAMS).fit(X, y)
+        pred = model.predict(prep.X_test)
+        report = per_class_report(prep.y_test, pred)
+        pairs = confusion_pairs(prep.y_test, pred, top_k=5)
+        al = run_methods(
+            [prep], methods=("uncertainty",), n_queries=60,
+            model_params=RF_PARAMS,
+        ).runs["uncertainty"][0]
+        shares = queried_class_alignment(al, prep.y_test, pred)
+        return report, pairs, shares, pred
+
+    report, pairs, shares, pred = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = ["[per-class F1, full-training-set model]"]
+    sections.append(
+        format_table(
+            ["class", "precision", "recall", "F1", "support"],
+            [
+                [label, f"{p:.3f}", f"{r:.3f}", f"{f:.3f}", s]
+                for label, p, r, f, s in zip(
+                    report.labels, report.precision, report.recall,
+                    report.f1, report.support,
+                )
+            ],
+        )
+    )
+    sections.append("\n[top confusion pairs (true -> predicted)]")
+    sections.append(
+        format_table(["true", "predicted", "count"], [list(p) for p in pairs])
+    )
+    sections.append("\n[share of uncertainty queries per label, 60 queries]")
+    sections.append(
+        format_table(
+            ["label", "share"],
+            [[k, f"{v:.2f}"] for k, v in sorted(shares.items(), key=lambda t: -t[1])],
+        )
+    )
+
+    # where the chi-square-selected signal lives
+    from repro.experiments import bench_dataset
+    from repro.experiments.analysis import feature_family_signal, subsystem_signal
+
+    ds = bench_dataset("volta", method="mvts")
+    kept = [ds.feature_names[i] for i in prep.selector.get_support()]
+    sections.append("\n[selected features per telemetry subsystem]")
+    sections.append(
+        format_table(
+            ["subsystem", "features"],
+            sorted(subsystem_signal(kept).items(), key=lambda t: -t[1]),
+        )
+    )
+    sections.append("\n[most-selected statistical feature families]")
+    sections.append(
+        format_table(["feature", "count"], feature_family_signal(kept, top_k=10))
+    )
+    write_artifact("drilldown_per_class", "\n".join(sections))
+
+    # the paper's dial finding: dial sits in the hardest half of anomalies
+    ranked_anomalies = [l for l, _ in report.ranked() if l != "healthy"]
+    assert "dial" in ranked_anomalies[: max(2, len(ranked_anomalies) // 2)]
+    # healthy dominates the query mix (Fig. 4's mechanism)
+    assert max(shares, key=shares.get) == "healthy"

@@ -1,0 +1,43 @@
+"""Fig. 4 — distribution of queried application and anomaly types (Volta).
+
+Regenerates the paper's Fig. 4 drill-down: which labels and applications
+the uncertainty strategy queries in its first 50 queries on Volta.
+
+Expected shape (paper): *healthy* dominates (~30 of 50 — the model needs
+healthy signatures first, which is also what drives the early false-alarm
+drop); `dial` is the most-queried anomaly (it is the most confusable); the
+high-variance applications (Kripke, MiniMD, MiniAMR) are queried most.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments import RF_PARAMS, distribution_table, run_methods
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_query_distribution(benchmark, volta_preps):
+    result = benchmark.pedantic(
+        lambda: run_methods(
+            volta_preps[:1],
+            methods=("uncertainty",),
+            n_queries=50,
+            model_params=RF_PARAMS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    run = result.runs["uncertainty"][0]
+    write_artifact(
+        "fig4_query_distribution",
+        distribution_table(run.queried_labels, run.queried_apps, first_n=50),
+    )
+
+    label_counts = Counter(str(v) for v in run.queried_labels)
+    # healthy must be the most-queried label (paper: ~30/50)
+    assert label_counts.most_common(1)[0][0] == "healthy"
+    assert label_counts["healthy"] >= 15

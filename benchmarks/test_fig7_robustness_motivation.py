@@ -1,0 +1,103 @@
+"""Fig. 7 — motivational robustness experiment (no active learning).
+
+Regenerates the paper's Fig. 7: train a random forest on k applications
+(k = 2, 4, 6, 8), test on a fixed set of held-out applications, and report
+F1 / false-alarm / anomaly-miss versus k, against the 5-fold-CV reference
+where every application is in both sets.
+
+Expected shape (paper): with two training applications the F1 drops by
+~30% versus the all-apps CV reference and the false-alarm rate inflates
+dramatically (35x in the paper); scores recover monotonically (on average)
+as applications are added.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.datasets.splits import make_app_holdout_split, prepare
+from repro.experiments import K_FEATURES, RF_PARAMS, bench_dataset, format_table
+from repro.mlcore import (
+    RandomForestClassifier,
+    anomaly_miss_rate,
+    cross_val_score,
+    f1_score,
+    false_alarm_rate,
+)
+
+TEST_APPS = ["Kripke", "MiniMD", "CG"]  # fixed held-out trio
+N_COMBOS = 4  # app combinations per k (paper: all 11-choose-k)
+
+
+def _evaluate(ds, train_apps, rng):
+    bundle = make_app_holdout_split(ds, train_apps, rng=rng)
+    # restrict the test side to the fixed trio for a constant test set
+    mask = np.isin(bundle.test.apps, TEST_APPS)
+    bundle.test = bundle.test.subset(mask)
+    prep = prepare(bundle, k_features=K_FEATURES)
+    X = np.vstack([prep.X_seed, prep.X_pool])
+    y = np.concatenate([prep.y_seed, prep.y_pool])
+    model = RandomForestClassifier(random_state=0, **RF_PARAMS).fit(X, y)
+    pred = model.predict(prep.X_test)
+    return (
+        f1_score(prep.y_test, pred),
+        false_alarm_rate(prep.y_test, pred),
+        anomaly_miss_rate(prep.y_test, pred),
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_robustness_motivation(benchmark):
+    ds = bench_dataset("volta", method="mvts")
+    candidate_apps = sorted(set(ds.apps) - set(TEST_APPS))
+
+    def run():
+        rng = np.random.default_rng(0)
+        rows = {}
+        for k in (2, 4, 6, 8):
+            combos = list(itertools.combinations(candidate_apps, k))
+            rng.shuffle(combos)
+            scores = [
+                _evaluate(ds, list(combo), rng=i)
+                for i, combo in enumerate(combos[:N_COMBOS])
+            ]
+            rows[k] = np.array(scores)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # all-apps 5-fold CV reference
+    from repro.datasets.splits import make_standard_split
+
+    prep = prepare(make_standard_split(ds, rng=0), k_features=K_FEATURES)
+    X = np.vstack([prep.X_seed, prep.X_pool, prep.X_test])
+    y = np.concatenate([prep.y_seed, prep.y_pool, prep.y_test])
+    cv_f1 = float(
+        cross_val_score(
+            RandomForestClassifier(random_state=0, **RF_PARAMS), X, y, cv=5
+        ).mean()
+    )
+
+    table_rows = []
+    for k, scores in rows.items():
+        f1, far, amr = scores.mean(axis=0)
+        ci = 1.96 * scores.std(axis=0, ddof=1) / np.sqrt(len(scores))
+        table_rows.append(
+            [k, f"{f1:.3f}±{ci[0]:.3f}", f"{far:.3f}±{ci[1]:.3f}", f"{amr:.3f}±{ci[2]:.3f}"]
+        )
+    text = format_table(
+        ["train apps", "F1", "false alarm", "anomaly miss"], table_rows
+    )
+    text += f"\n5-fold CV reference (all apps in train+test): F1 = {cv_f1:.3f}"
+    write_artifact("fig7_robustness_motivation", text)
+
+    f1_k2 = rows[2][:, 0].mean()
+    f1_k8 = rows[8][:, 0].mean()
+    # unseen apps hurt: k=2 must trail the CV reference clearly
+    assert f1_k2 < cv_f1 - 0.05
+    # adding applications recovers performance
+    assert f1_k8 > f1_k2

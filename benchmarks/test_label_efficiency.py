@@ -1,0 +1,79 @@
+"""Label efficiency — the paper's headline framing, as one overlay.
+
+The "28× fewer labeled samples" claim compares two curves over labeled-set
+size: (a) a *supervised* model trained on randomly drawn labeled subsets,
+and (b) the active learner's trajectory as it grows its labeled set by
+querying. This bench draws both on the Volta corpus and reports the
+horizontal gap at fixed F1 levels — the measurable label-efficiency
+factor at our scale (see EXPERIMENTS.md for why the paper's 28x
+compresses with pool size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_preps, write_artifact
+from repro.experiments import RF_PARAMS, format_table, run_methods, sparkline
+from repro.mlcore import RandomForestClassifier
+from repro.mlcore.model_selection import learning_curve
+
+
+@pytest.mark.benchmark(group="efficiency")
+def test_label_efficiency(benchmark):
+    prep = make_preps("volta", method="mvts", n_splits=2)
+
+    def run():
+        # supervised curve over random stratified subsets of seed ∪ pool
+        X = np.vstack([prep[0].X_seed, prep[0].X_pool])
+        y = np.concatenate([prep[0].y_seed, prep[0].y_pool])
+        sizes, sup_mean, sup_std = learning_curve(
+            RandomForestClassifier(random_state=0, **RF_PARAMS),
+            X, y, prep[0].X_test, prep[0].y_test,
+            train_sizes=(30, 66, 100, 150, 220, len(y)),
+            n_repeats=3,
+            random_state=0,
+        )
+        # active curve from the same seed size
+        al = run_methods(
+            prep, methods=("uncertainty",), n_queries=120,
+            model_params=RF_PARAMS,
+        ).stats("uncertainty")
+        return sizes, sup_mean, sup_std, al
+
+    sizes, sup_mean, sup_std, al = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [int(s), f"{m:.3f}±{sd:.3f}"] for s, m, sd in zip(sizes, sup_mean, sup_std)
+    ]
+    text = "[supervised: F1 vs random labeled subset size]\n"
+    text += format_table(["labels", "F1"], rows)
+    text += "\n\n[active learning: F1 vs labeled-set size]\n"
+    checkpoints = [0, 25, 60, 120]
+    al_rows = []
+    for q in checkpoints:
+        i = int(np.argmin(np.abs(al.n_labeled - (al.n_labeled[0] + q))))
+        al_rows.append([int(al.n_labeled[i]), f"{al.f1_mean[i]:.3f}"])
+    text += format_table(["labels", "F1"], al_rows)
+    text += f"\nAL curve: {sparkline(al.f1_mean)}"
+
+    # horizontal gap at matched F1 levels
+    gaps = []
+    for target in (0.70, 0.74):
+        al_hit = np.flatnonzero(al.f1_mean >= target)
+        sup_hit = np.flatnonzero(sup_mean >= target)
+        al_n = int(al.n_labeled[al_hit[0]]) if len(al_hit) else None
+        sup_n = int(sizes[sup_hit[0]]) if len(sup_hit) else None
+        ratio = (
+            f"{sup_n / al_n:.1f}x" if al_n and sup_n and al_n > 0 else "-"
+        )
+        gaps.append([f"{target:.2f}", al_n or "-", sup_n or "-", ratio])
+    text += "\n\n[labels needed per F1 target]\n"
+    text += format_table(["target F1", "active", "supervised", "factor"], gaps)
+    write_artifact("label_efficiency", text)
+
+    # the AL curve must not need more labels than random-subset supervision
+    for _, al_n, sup_n, _ in gaps:
+        if isinstance(al_n, int) and isinstance(sup_n, int):
+            assert al_n <= sup_n * 1.5

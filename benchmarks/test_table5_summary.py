@@ -1,0 +1,91 @@
+"""Table V — summary of anomaly-diagnosis results.
+
+Regenerates the paper's Table V: for each dataset, with its best feature
+extraction method and query strategy (Volta → TSFRESH + uncertainty,
+Eclipse → MVTS + margin), the number of additional labeled samples needed
+to reach fixed F1 targets, plus two references — the F1 of a model trained
+on the *entire* AL training dataset and the max 5-fold CV score on the
+full corpus.
+
+Expected shape (paper): the AL strategy reaches the full-training-set F1
+with one to two orders of magnitude fewer labeled samples (28x headline);
+Eclipse needs ~10x more queries than Volta; starting F1 is lower on
+Eclipse (0.72 vs 0.86 in the paper).
+
+Note on absolute targets: our scaled corpora cap the full-training-set F1
+below the paper's 0.95 (see EXPERIMENTS.md), so the table reports queries
+to reach *relative* targets (fractions of the full-training reference) in
+addition to the paper's absolute 0.85/0.90/0.95 columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import full_train_reference, write_artifact
+from repro.experiments import RF_PARAMS, format_table, run_methods, table5_row
+from repro.mlcore import RandomForestClassifier, cross_val_score
+
+
+def _cv_reference(prep, rf_params) -> tuple[float, int]:
+    """Table V "Max Score 5-fold CV" on the full labeled corpus."""
+    X = np.vstack([prep.X_seed, prep.X_pool, prep.X_test])
+    y = np.concatenate([prep.y_seed, prep.y_pool, prep.y_test])
+    scores = cross_val_score(
+        RandomForestClassifier(random_state=0, **rf_params), X, y, cv=5
+    )
+    return float(scores.max()), len(y)
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_summary(benchmark, volta_preps, eclipse_preps):
+    def run_all():
+        out = {}
+        for system, preps, feat, strategy in (
+            ("Volta", volta_preps[:2], "TSFRESH", "uncertainty"),
+            ("Eclipse", eclipse_preps[:2], "MVTS", "margin"),
+        ):
+            result = run_methods(
+                preps,
+                methods=(strategy, "random"),
+                n_queries=120,
+                model_params=RF_PARAMS,
+            )
+            out[system] = (result, preps, feat, strategy)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    header = [
+        "dataset", "features", "strategy", "seed", "start F1",
+        "F1:0.85", "F1:0.90", "F1:0.95",
+        "full-train F1", "max 5-fold CV",
+    ]
+    rows = []
+    comparisons = []
+    for system, (result, preps, feat, strategy) in results.items():
+        full_f1, full_n = full_train_reference(preps[0], RF_PARAMS)
+        cv_f1, cv_n = _cv_reference(preps[0], RF_PARAMS)
+        rows.append(
+            table5_row(system, feat, strategy, result, full_f1, full_n, cv_f1, cv_n)
+        )
+        # relative target: reach parity with the full AL training dataset
+        parity = full_f1 - 0.01
+        al_needed = result.queries_to_reach(strategy, parity)
+        rand_needed = result.queries_to_reach("random", parity)
+        comparisons.append(
+            (system, f"{parity:.3f}", al_needed, rand_needed, len(preps[0].y_pool))
+        )
+    text = format_table(header, rows)
+    text += "\n\nqueries to full-training-set parity (AL advantage):\n"
+    text += format_table(
+        ["dataset", "target F1", strategy := "AL queries", "Random queries", "pool size"],
+        comparisons,
+    )
+    write_artifact("table5_summary", text)
+
+    # the AL strategy must not need more queries than Random for parity
+    for system, _, al_needed, rand_needed, _ in comparisons:
+        if al_needed is not None and rand_needed is not None:
+            assert al_needed <= rand_needed + 10, system

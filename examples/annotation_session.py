@@ -1,0 +1,78 @@
+"""Annotation session with metric drill-down (the paper's future-work UX).
+
+The paper's planned dashboard shows the annotator *why* a run was selected:
+the model's current guess and the metrics that deviate most from healthy
+baselines. This example runs a scripted annotation session and prints the
+explanation cards a human would see. Swap the scripted annotator for
+``input()`` and it becomes a real labeling tool.
+
+    python examples/annotation_session.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.active import ActiveLearner
+from repro.core import MetricHighlighter
+from repro.core.annotation import AnnotationSession
+from repro.datasets import volta_config, generate_runs
+from repro.features import FeatureExtractor
+from repro.mlcore import MinMaxScaler, RandomForestClassifier
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    config = volta_config(
+        scale=0.04,
+        n_healthy_per_app_input=4,
+        n_anomalous_per_app_anomaly=4,
+        duration=160,
+    )
+    runs = generate_runs(config, rng=rng)
+    runs = [runs[i] for i in rng.permutation(len(runs))]
+
+    # feature space: extraction + scaling learned on the corpus
+    extractor = FeatureExtractor(config.catalog, method="mvts")
+    corpus = extractor.fit_transform(runs)
+    scaler = MinMaxScaler(clip=True).fit(corpus.X)
+
+    def featurize(run):
+        return scaler.transform(extractor.transform([run]).X)[0]
+
+    # seed: one labeled run per (app, class) pair
+    seed_idx, seen = [], set()
+    for i, run in enumerate(runs):
+        key = (run.app, run.label)
+        if key not in seen:
+            seen.add(key)
+            seed_idx.append(i)
+    pool = [r for i, r in enumerate(runs) if i not in set(seed_idx)]
+
+    learner = ActiveLearner(
+        RandomForestClassifier(n_estimators=12, max_depth=8, random_state=0),
+        "uncertainty",
+        scaler.transform(corpus.X[seed_idx]),
+        corpus.labels[seed_idx],
+        random_state=0,
+    )
+
+    # healthy baselines for the metric drill-down
+    healthy_runs = [r for r in runs if r.label == "healthy"][:10]
+    highlighter = MetricHighlighter(config.catalog, top_k=5).fit(healthy_runs)
+
+    # a scripted annotator standing in for the human (returns ground truth)
+    def annotator(card: str, run) -> str:
+        print(card)
+        print(f"  >> annotator answers: {run.label}\n")
+        return run.label
+
+    session = AnnotationSession(learner, highlighter, featurize, annotator)
+    print(f"starting annotation session: {len(pool)} unlabeled runs, "
+          f"{learner.n_labeled} labeled seeds\n")
+    session.run(pool, n_queries=5)
+    print(f"session complete: labeled set grew to {learner.n_labeled} runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of ALBADross (Aksar et al., IEEE CLUSTER 2022).
+
+Active-learning-based anomaly diagnosis for production HPC systems, built
+from scratch on NumPy/SciPy:
+
+* :mod:`repro.core` — the ALBADross framework (public API).
+* :mod:`repro.active` — pool-based query strategies, learner, baselines.
+* :mod:`repro.mlcore` — classifiers, preprocessing, selection, CV, metrics.
+* :mod:`repro.telemetry` — LDMS-style monitoring substrate.
+* :mod:`repro.apps` — Volta/Eclipse application workload signatures.
+* :mod:`repro.anomalies` — HPAS-style synthetic anomaly injectors.
+* :mod:`repro.features` — MVTS / TSFRESH statistical feature extraction.
+* :mod:`repro.datasets` — campaign generation and experiment splits.
+* :mod:`repro.parallel` — process fan-out utilities.
+
+Quickstart::
+
+    from repro.core import ALBADross, FrameworkConfig
+    from repro.datasets import volta_config, generate_runs
+
+See ``examples/quickstart.py`` for the full loop.
+"""
+
+from .core import ALBADross, FrameworkConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ALBADross", "FrameworkConfig", "__version__"]

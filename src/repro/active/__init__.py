@@ -1,0 +1,56 @@
+"""repro.active — pool-based active learning (modAL stand-in + paper loop).
+
+Query strategies (uncertainty / margin / entropy, Eqs. 1–4), the
+:class:`ActiveLearner` query/teach cycle, the label :class:`Oracle`, the
+Random / Equal App / Proctor baselines, and :func:`run_active_learning`,
+the experiment driver behind every curve in the paper's Sec. V.
+"""
+
+from .advanced import (
+    DensityWeightedUncertainty,
+    QueryByCommittee,
+    information_density,
+)
+from .batch import RankedBatchSelector, select_ranked_batch
+from .baselines import EqualAppSelector, ProctorModel, RandomSelector
+from .learner import ActiveLearner
+from .loop import ALResult, queries_to_reach, run_active_learning
+from .oracle import Oracle, QueryRecord
+from .stream import StreamActiveLearner, StreamDecision
+from .strategies import (
+    STRATEGIES,
+    entropy_sampling,
+    entropy_scores,
+    get_strategy,
+    margin_sampling,
+    margin_scores,
+    uncertainty_sampling,
+    uncertainty_scores,
+)
+
+__all__ = [
+    "ALResult",
+    "DensityWeightedUncertainty",
+    "QueryByCommittee",
+    "StreamActiveLearner",
+    "StreamDecision",
+    "information_density",
+    "RankedBatchSelector",
+    "select_ranked_batch",
+    "ActiveLearner",
+    "EqualAppSelector",
+    "Oracle",
+    "ProctorModel",
+    "QueryRecord",
+    "RandomSelector",
+    "STRATEGIES",
+    "entropy_sampling",
+    "entropy_scores",
+    "get_strategy",
+    "margin_sampling",
+    "margin_scores",
+    "queries_to_reach",
+    "run_active_learning",
+    "uncertainty_sampling",
+    "uncertainty_scores",
+]

@@ -1,0 +1,130 @@
+"""Advanced query strategies (the paper's future-work direction).
+
+The paper's conclusion proposes "a custom query strategy for multivariate
+time series data to further reduce the necessary labeled samples". Two
+well-grounded candidates are implemented here, both drop-in compatible
+with :class:`~repro.active.learner.ActiveLearner`:
+
+* **Information-density weighting** (Settles & Craven 2008): plain
+  uncertainty chases outliers — samples the model is unsure about because
+  they are *weird*, not because they are *representative*. Density
+  weighting multiplies uncertainty by the sample's average similarity to
+  the rest of the pool, steering queries toward dense, representative
+  regions.
+* **Query-by-committee** (Seung et al. 1992, the paper's ref [26]): train
+  a small committee on bootstrap replicas of the labeled set and query
+  where the members disagree most (vote entropy). Disagreement captures
+  model-space ambiguity that a single model's softmax cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.base import BaseEstimator, check_random_state, clone
+from .strategies import uncertainty_scores
+
+__all__ = ["DensityWeightedUncertainty", "QueryByCommittee", "information_density"]
+
+
+def information_density(X_pool: np.ndarray, beta: float = 1.0) -> np.ndarray:
+    """Average cosine similarity of each pool sample to the whole pool.
+
+    Returns per-sample densities raised to ``beta``. Zero vectors get
+    density 0 (they are degenerate, not representative).
+    """
+    X = np.asarray(X_pool, dtype=np.float64)
+    norms = np.linalg.norm(X, axis=1)
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = X / safe[:, None]
+    sims = unit @ unit.T  # (n, n) cosine similarities
+    density = sims.mean(axis=1)
+    density = np.where(norms > 0, np.clip(density, 0.0, None), 0.0)
+    return density**beta
+
+
+@dataclass
+class DensityWeightedUncertainty:
+    """Select ``argmax U(x) * density(x)^beta`` over the pool.
+
+    ``beta`` trades off informativeness against representativeness:
+    ``beta=0`` recovers plain uncertainty sampling.
+    """
+
+    beta: float = 1.0
+
+    def __call__(
+        self,
+        model: BaseEstimator,
+        X_pool: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        if len(X_pool) == 0:
+            raise ValueError("empty pool")
+        scores = uncertainty_scores(model.predict_proba(X_pool))
+        if self.beta != 0.0:
+            scores = scores * information_density(X_pool, self.beta)
+        return int(np.argmax(scores))
+
+
+@dataclass
+class QueryByCommittee:
+    """Vote-entropy disagreement over a bootstrap committee.
+
+    The committee is retrained from the *current* model's training data on
+    every call — the learner refits after each teach, so the committee must
+    track it. ``committee_size`` members are cloned from the learner's
+    estimator and fit on bootstrap resamples.
+
+    Requires the model to expose its training data; the ActiveLearner does
+    via ``X_labeled`` / ``y_labeled``, so this strategy is built from the
+    learner with :meth:`from_learner`, or constructed with an explicit
+    ``get_training_data`` callable.
+    """
+
+    committee_size: int = 5
+    get_training_data = None  # callable () -> (X, y); set post-construction
+
+    def __call__(
+        self,
+        model: BaseEstimator,
+        X_pool: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        if len(X_pool) == 0:
+            raise ValueError("empty pool")
+        if self.get_training_data is None:
+            raise RuntimeError(
+                "QueryByCommittee needs get_training_data; use bind_learner()"
+            )
+        rng = check_random_state(rng)
+        X, y = self.get_training_data()
+        n = len(y)
+        votes = []
+        for _ in range(self.committee_size):
+            idx = rng.integers(0, n, size=n)
+            # keep every class represented so members share the label space
+            for _retry in range(8):
+                if len(np.unique(np.asarray(y)[idx])) == len(np.unique(y)):
+                    break
+                idx = rng.integers(0, n, size=n)
+            member = clone(model)
+            member.fit(np.asarray(X)[idx], np.asarray(y)[idx])
+            votes.append(member.predict(X_pool))
+        votes_arr = np.stack(votes)  # (committee, n_pool)
+        classes = np.unique(votes_arr)
+        counts = np.stack(
+            [(votes_arr == c).sum(axis=0) for c in classes], axis=1
+        ).astype(float)
+        p = counts / self.committee_size
+        with np.errstate(invalid="ignore", divide="ignore"):
+            terms = np.where(p > 0, p * np.log(np.where(p > 0, p, 1.0)), 0.0)
+        vote_entropy = -terms.sum(axis=1)
+        return int(np.argmax(vote_entropy))
+
+    def bind_learner(self, learner) -> "QueryByCommittee":
+        """Wire the committee to an ActiveLearner's growing labeled set."""
+        self.get_training_data = lambda: (learner.X_labeled, learner.y_labeled)
+        return self

@@ -1,0 +1,152 @@
+"""Baseline sample-selection policies (paper Sec. IV-D).
+
+* **Random** — uniformly random pool sample each iteration; the canonical
+  active-learning control.
+* **Equal App** — assumes the running applications are known and queries in
+  application round-robin: each round supplies one random sample from every
+  application type, guaranteeing balanced app coverage.
+* **Proctor** — the semi-supervised baseline of Aksar et al. (ISC 2021): a
+  deep autoencoder trained on the *unlabeled* pool provides an embedding; a
+  logistic-regression head is trained on the embedded labeled set; new
+  labels are acquired at Random. Its curve stays flat in the paper because
+  random labels add little information to the fixed representation.
+
+All baselines are expressed as selector callables compatible with
+:class:`~repro.active.learner.ActiveLearner`, so the experiment loop treats
+strategies and baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mlcore.autoencoder import Autoencoder
+from ..mlcore.base import BaseEstimator, check_random_state, clone
+from ..mlcore.linear import LogisticRegression
+
+__all__ = ["RandomSelector", "EqualAppSelector", "ProctorModel"]
+
+
+class RandomSelector:
+    """Uniformly random pool index — the Random baseline."""
+
+    def __call__(
+        self, model: object, X_pool: np.ndarray, rng: np.random.Generator | None
+    ) -> int:
+        rng = check_random_state(rng)
+        return int(rng.integers(0, len(X_pool)))
+
+
+class EqualAppSelector:
+    """Application round-robin selection — the Equal App baseline.
+
+    Holds a reference to the pool's per-sample application labels, which the
+    experiment loop keeps aligned with the shrinking pool via
+    :meth:`remove`. Within each round the selector cycles through the
+    application types in sorted order, choosing a random sample of the
+    current app; apps exhausted from the pool are skipped.
+    """
+
+    def __init__(self, pool_apps: np.ndarray):
+        self._apps = list(np.asarray(pool_apps))
+        self._app_cycle = sorted(set(str(a) for a in self._apps))
+        if not self._app_cycle:
+            raise ValueError("pool has no application labels")
+        self._cursor = 0
+
+    def __call__(
+        self, model: object, X_pool: np.ndarray, rng: np.random.Generator | None
+    ) -> int:
+        if len(X_pool) != len(self._apps):
+            raise RuntimeError(
+                "pool/app bookkeeping out of sync: call remove() after each query"
+            )
+        rng = check_random_state(rng)
+        apps_arr = np.array([str(a) for a in self._apps])
+        for _ in range(len(self._app_cycle)):
+            target = self._app_cycle[self._cursor % len(self._app_cycle)]
+            self._cursor += 1
+            candidates = np.flatnonzero(apps_arr == target)
+            if len(candidates):
+                return int(rng.choice(candidates))
+        # every cycling app exhausted: fall back to random
+        return int(rng.integers(0, len(X_pool)))
+
+    def remove(self, pool_index: int) -> None:
+        """Drop the selected sample's app entry to stay aligned with the pool."""
+        del self._apps[pool_index]
+
+
+class ProctorModel(BaseEstimator):
+    """Autoencoder embedding + logistic-regression head (Proctor).
+
+    ``fit_unlabeled`` trains the representation once on the pool; ``fit``
+    then only refits the lightweight LR head on embedded labeled samples,
+    which is why Proctor plugs into the same AL loop as any classifier.
+
+    Parameters mirror the paper's setup (deep AE, adadelta, MSE, 100
+    epochs, LR head) with the code width scaled to our feature counts.
+    """
+
+    def __init__(
+        self,
+        code_size: int = 64,
+        hidden_layer_sizes: tuple[int, ...] = (128,),
+        ae_epochs: int = 100,
+        lr_C: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.code_size = code_size
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.ae_epochs = ae_epochs
+        self.lr_C = lr_C
+        self.random_state = random_state
+
+    def fit_unlabeled(self, X_unlabeled: np.ndarray) -> "ProctorModel":
+        """Train the autoencoder representation on the unlabeled pool."""
+        self.autoencoder_ = Autoencoder(
+            code_size=self.code_size,
+            hidden_layer_sizes=self.hidden_layer_sizes,
+            max_iter=self.ae_epochs,
+            random_state=self.random_state,
+        ).fit(X_unlabeled)
+        return self
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ProctorModel":
+        """Fit the LR head on the embedding of the labeled samples.
+
+        If ``fit_unlabeled`` was never called (e.g. cloned by the AL loop),
+        the AE is trained on the labeled data itself as a fallback.
+        """
+        if not hasattr(self, "autoencoder_"):
+            self.fit_unlabeled(X)
+        self.head_ = LogisticRegression(penalty="l2", C=self.lr_C)
+        self.head_.fit(self.autoencoder_.transform(X), np.asarray(y))
+        self.classes_ = self.head_.classes_
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Diagnose through the frozen embedding."""
+        return self.head_.predict(self.autoencoder_.transform(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities through the frozen embedding."""
+        return self.head_.predict_proba(self.autoencoder_.transform(X))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy through the frozen embedding."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+
+def clone_with_representation(proctor: ProctorModel) -> ProctorModel:
+    """Clone hyperparameters but share the trained autoencoder.
+
+    The AL loop refits models on every teach; retraining the AE each time
+    would be both wasteful and wrong (Proctor's representation is fixed
+    after unsupervised pretraining). Sharing the fitted AE across clones
+    preserves the intended semantics.
+    """
+    fresh = clone(proctor)
+    if hasattr(proctor, "autoencoder_"):
+        fresh.autoencoder_ = proctor.autoencoder_
+    return fresh

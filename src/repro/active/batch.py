@@ -1,0 +1,124 @@
+"""Batch-mode query selection (ranked batch, Cardoso et al. 2017).
+
+The paper queries one sample per iteration; in practice annotators label
+in sessions, so asking for *k* samples at once matters. Naively taking the
+top-k most uncertain samples wastes queries on near-duplicates; ranked
+batch-mode selection greedily picks samples that are both uncertain and
+*far from everything already selected or labeled*, trading informativeness
+against batch diversity — the same idea modAL ships as ``ranked_batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .strategies import uncertainty_scores
+
+__all__ = ["RankedBatchSelector", "select_ranked_batch"]
+
+
+def _min_distances(X_pool: np.ndarray, X_ref: np.ndarray) -> np.ndarray:
+    """Per-pool-sample Euclidean distance to the nearest reference row."""
+    # (n, m) vs (r, m): compute in chunks to bound memory
+    n = X_pool.shape[0]
+    out = np.empty(n)
+    chunk = max(1, 2_000_000 // max(1, X_ref.shape[0]))
+    for start in range(0, n, chunk):
+        block = X_pool[start : start + chunk]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ X_ref.T
+            + np.sum(X_ref**2, axis=1)[None, :]
+        )
+        out[start : start + chunk] = np.sqrt(np.maximum(d2.min(axis=1), 0.0))
+    return out
+
+
+def select_ranked_batch(
+    model,
+    X_pool: np.ndarray,
+    X_labeled: np.ndarray,
+    batch_size: int,
+) -> list[int]:
+    """Greedy ranked-batch selection of ``batch_size`` pool indices.
+
+    Each greedy step scores every remaining candidate as
+
+    ``alpha * similarity_penalty + (1 - alpha) * uncertainty``
+
+    with ``alpha = |unlabeled| / (|unlabeled| + |labeled|)`` (diversity
+    matters most while the labeled set is small) and the similarity
+    penalty ``1 / (1 + exp(-d))``-free formulation of modAL:
+    ``1 - 1/(1 + d)`` where ``d`` is the distance to the nearest
+    labeled-or-selected sample.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    X_pool = np.asarray(X_pool, dtype=np.float64)
+    n = len(X_pool)
+    if n == 0:
+        raise ValueError("empty pool")
+    batch_size = min(batch_size, n)
+    uncertainty = uncertainty_scores(model.predict_proba(X_pool))
+    reference = np.asarray(X_labeled, dtype=np.float64)
+    selected: list[int] = []
+    remaining = np.arange(n)
+    n_labeled = len(reference)
+    for _ in range(batch_size):
+        d = _min_distances(X_pool[remaining], reference)
+        similarity_penalty = 1.0 - 1.0 / (1.0 + d)
+        n_unlabeled = len(remaining)
+        alpha = n_unlabeled / (n_unlabeled + n_labeled)
+        scores = alpha * similarity_penalty + (1.0 - alpha) * uncertainty[remaining]
+        pick_pos = int(np.argmax(scores))
+        pick = int(remaining[pick_pos])
+        selected.append(pick)
+        reference = np.vstack([reference, X_pool[pick][None, :]])
+        n_labeled += 1
+        remaining = np.delete(remaining, pick_pos)
+    return selected
+
+
+@dataclass
+class RankedBatchSelector:
+    """ActiveLearner-compatible wrapper: yields one batch, one index at a time.
+
+    The :class:`~repro.active.learner.ActiveLearner` protocol asks for one
+    index per query; this selector computes a ranked batch when its queue
+    is empty and replays it one index per call, recomputing every
+    ``batch_size`` queries. The labeled reference set comes from a bound
+    learner (:meth:`bind_learner`); unbound, the current pool's first row
+    seeds the diversity reference.
+
+    The caller must remove each returned index from the pool before the
+    next call (the convention of :func:`repro.active.loop.run_active_learning`);
+    queued indices are shifted accordingly.
+    """
+
+    batch_size: int = 10
+    get_labeled = None  # callable () -> X_labeled; set via bind_learner
+
+    def __post_init__(self) -> None:
+        self._queue: list[int] = []
+        self._expected_pool = -1
+
+    def bind_learner(self, learner) -> "RankedBatchSelector":
+        """Use an ActiveLearner's labeled set as the diversity reference."""
+        self.get_labeled = lambda: learner.X_labeled
+        return self
+
+    def __call__(self, model, X_pool: np.ndarray, rng=None) -> int:
+        if not self._queue or len(X_pool) != self._expected_pool:
+            reference = (
+                self.get_labeled() if self.get_labeled is not None else X_pool[:1]
+            )
+            self._queue = select_ranked_batch(
+                model, X_pool, reference, self.batch_size
+            )
+            self._expected_pool = len(X_pool)
+        idx = self._queue.pop(0)
+        self._expected_pool -= 1
+        self._queue = [i - 1 if i > idx else i for i in self._queue]
+        return idx

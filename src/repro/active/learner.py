@@ -1,0 +1,134 @@
+"""Pool-based active learner (modAL's ``ActiveLearner`` stand-in).
+
+Wraps any :mod:`repro.mlcore` classifier with the query/teach cycle of
+Fig. 1: ``query`` asks the strategy for the most informative unlabeled
+sample, ``teach`` appends the newly labeled sample and re-trains the model
+on the grown labeled set (the paper re-trains incrementally rather than
+from scratch; for our estimators a refit on the grown set is the exact
+equivalent and stays cheap at experiment scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..mlcore.base import BaseEstimator, check_random_state, check_X_y, clone
+from .strategies import StrategyFn, get_strategy
+
+__all__ = ["ActiveLearner"]
+
+
+class ActiveLearner:
+    """A classifier plus a query strategy over an unlabeled pool.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype classifier; a clone is (re)fit on every ``teach``.
+    query_strategy:
+        Strategy name (``"uncertainty"`` / ``"margin"`` / ``"entropy"``) or
+        a callable ``(model, X_pool, rng) -> int``.
+    X_initial, y_initial:
+        The labeled seed set — in the paper, one sample per
+        (application, anomaly) pair.
+    refit_every:
+        Re-train after every ``refit_every`` teaches (1 = paper behaviour).
+    clone_fn:
+        How to produce a fresh model for each refit. Defaults to
+        :func:`repro.mlcore.base.clone`; Proctor passes
+        :func:`repro.active.baselines.clone_with_representation` so the
+        pretrained autoencoder survives refits.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        query_strategy: str | StrategyFn,
+        X_initial: np.ndarray,
+        y_initial: np.ndarray,
+        refit_every: int = 1,
+        random_state: int | np.random.Generator | None = None,
+        clone_fn: Callable[[BaseEstimator], BaseEstimator] = clone,
+    ):
+        if refit_every < 1:
+            raise ValueError(f"refit_every must be >= 1, got {refit_every}")
+        X_initial, y_initial = check_X_y(X_initial, y_initial)
+        self._strategy: StrategyFn = (
+            get_strategy(query_strategy)
+            if isinstance(query_strategy, str)
+            else query_strategy
+        )
+        self._rng = check_random_state(random_state)
+        self._prototype = estimator
+        self._clone_fn = clone_fn
+        self.refit_every = refit_every
+        self._X = [row for row in X_initial]
+        self._y = list(y_initial)
+        self._pending = 0
+        self.model = clone_fn(estimator)
+        self.model.fit(self.X_labeled, self.y_labeled)
+
+    # ------------------------------------------------------------------
+    @property
+    def X_labeled(self) -> np.ndarray:
+        """Current labeled feature matrix (seed + taught samples)."""
+        return np.vstack(self._X)
+
+    @property
+    def y_labeled(self) -> np.ndarray:
+        """Current labeled targets."""
+        return np.asarray(self._y)
+
+    @property
+    def n_labeled(self) -> int:
+        """Number of labeled samples the model has seen."""
+        return len(self._y)
+
+    def query(self, X_pool: np.ndarray) -> int:
+        """Index (into ``X_pool``) of the next sample to label."""
+        if len(X_pool) == 0:
+            raise ValueError("cannot query an empty pool")
+        return self._strategy(self.model, X_pool, self._rng)
+
+    def teach(self, x: np.ndarray, y: object) -> "ActiveLearner":
+        """Add one labeled sample and re-train (respecting ``refit_every``)."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != self._X[0].shape[0]:
+            raise ValueError(
+                f"sample has {x.shape[0]} features, expected {self._X[0].shape[0]}"
+            )
+        self._X.append(x)
+        self._y.append(y)
+        self._pending += 1
+        if self._pending >= self.refit_every:
+            self._refit()
+        return self
+
+    def _refit(self) -> None:
+        self.model = self._clone_fn(self._prototype)
+        self.model.fit(self.X_labeled, self.y_labeled)
+        self._pending = 0
+
+    def flush(self) -> None:
+        """Force a refit if any taught samples are pending."""
+        if self._pending:
+            self._refit()
+
+    # convenience passthroughs -----------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the current model."""
+        return self.model.predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities from the current model."""
+        return self.model.predict_proba(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of the current model."""
+        return self.model.score(X, y)
+
+
+# re-export for type hints in user code
+QueryStrategy = Callable[[BaseEstimator, np.ndarray, np.random.Generator | None], int]

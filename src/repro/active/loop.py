@@ -1,0 +1,201 @@
+"""The active-learning experiment loop (Fig. 1 steps 2–4, Sec. V-A protocol).
+
+``run_active_learning`` drives the full cycle the paper evaluates: start
+from the labeled seed set, repeatedly (query strategy → oracle label →
+teach/re-train), and score F1 / false-alarm / anomaly-miss on a held-out
+test set after every query. It handles pool bookkeeping (selected samples
+leave the pool), supports both real strategies and the Random / Equal App /
+Proctor baselines, and stops at the query budget or a target F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..mlcore.base import BaseEstimator, check_random_state, clone
+from ..mlcore.metrics import (
+    HEALTHY_LABEL,
+    anomaly_miss_rate,
+    f1_score,
+    false_alarm_rate,
+)
+from .baselines import EqualAppSelector, ProctorModel, clone_with_representation
+from .learner import ActiveLearner
+from .oracle import Oracle
+from .strategies import StrategyFn
+
+__all__ = ["ALResult", "run_active_learning", "queries_to_reach"]
+
+
+@dataclass
+class ALResult:
+    """Learning curves and query log from one active-learning run.
+
+    ``n_labeled[i]`` is the labeled-set size after the i-th evaluation
+    (index 0 is the seed set, before any query). The metric arrays are
+    aligned with ``n_labeled``.
+    """
+
+    n_labeled: np.ndarray
+    f1: np.ndarray
+    far: np.ndarray
+    amr: np.ndarray
+    oracle: Oracle
+    queried_labels: list = field(default_factory=list)
+    queried_apps: list = field(default_factory=list)
+
+    @property
+    def initial_f1(self) -> float:
+        """F1 of the seed-trained model (Table V "Starting F1-score")."""
+        return float(self.f1[0])
+
+    @property
+    def final_f1(self) -> float:
+        """F1 after the last query."""
+        return float(self.f1[-1])
+
+
+def queries_to_reach(result: ALResult, target_f1: float) -> int | None:
+    """Minimum *additional* labeled samples to first reach ``target_f1``.
+
+    Returns 0 if the seed model already passes (Table V "Already Passed"),
+    or ``None`` if the target was never reached within the budget.
+    """
+    hit = np.flatnonzero(result.f1 >= target_f1)
+    if len(hit) == 0:
+        return None
+    return int(result.n_labeled[hit[0]] - result.n_labeled[0])
+
+
+def run_active_learning(
+    estimator: BaseEstimator,
+    strategy: str | StrategyFn,
+    X_seed: np.ndarray,
+    y_seed: np.ndarray,
+    X_pool: np.ndarray,
+    y_pool: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    n_queries: int = 100,
+    target_f1: float | None = None,
+    pool_apps: np.ndarray | None = None,
+    healthy_label: object = HEALTHY_LABEL,
+    eval_every: int = 1,
+    oracle_noise: float = 0.0,
+    random_state: int | np.random.Generator | None = None,
+) -> ALResult:
+    """Run one full query→label→re-train→evaluate experiment.
+
+    Parameters
+    ----------
+    estimator:
+        Classifier prototype. A :class:`ProctorModel` gets its autoencoder
+        pretrained on the unlabeled pool here (its defining behaviour) and
+        keeps that representation across refits.
+    strategy:
+        ``"uncertainty"`` / ``"margin"`` / ``"entropy"``, a custom callable,
+        or a baseline selector (``RandomSelector()`` /
+        ``EqualAppSelector(pool_apps)``).
+    n_queries:
+        Query budget; also bounded by the pool size.
+    target_f1:
+        Optional early stop once the test F1 reaches this value.
+    pool_apps:
+        Per-pool-sample application names; required by Equal App and used
+        for the Fig. 4 drill-down log.
+    eval_every:
+        Evaluate metrics every k-th query (curves stay aligned via
+        ``n_labeled``); 1 reproduces the paper's per-query curves.
+
+    Returns
+    -------
+    ALResult with metric curves, the oracle (query accounting), and the
+    per-query label/app log.
+    """
+    rng = check_random_state(random_state)
+    X_pool = np.asarray(X_pool, dtype=np.float64)
+    y_pool = np.asarray(y_pool)
+    if len(X_pool) != len(y_pool):
+        raise ValueError("X_pool and y_pool length mismatch")
+    if pool_apps is not None and len(pool_apps) != len(X_pool):
+        raise ValueError("pool_apps and X_pool length mismatch")
+    if eval_every < 1:
+        raise ValueError(f"eval_every must be >= 1, got {eval_every}")
+
+    oracle = Oracle(
+        y_true=y_pool,
+        apps=None if pool_apps is None else np.asarray(pool_apps),
+        noise_rate=oracle_noise,
+        random_state=rng,
+    )
+
+    clone_fn: Callable[[BaseEstimator], BaseEstimator] = clone
+    if isinstance(estimator, ProctorModel):
+        estimator.fit_unlabeled(X_pool)
+        clone_fn = clone_with_representation
+
+    learner = ActiveLearner(
+        estimator,
+        strategy,
+        X_seed,
+        y_seed,
+        random_state=rng,
+        clone_fn=clone_fn,
+    )
+
+    def evaluate() -> tuple[float, float, float]:
+        pred = learner.predict(X_test)
+        return (
+            f1_score(y_test, pred, average="macro"),
+            false_alarm_rate(y_test, pred, healthy_label),
+            anomaly_miss_rate(y_test, pred, healthy_label),
+        )
+
+    # live pool state; indices into the *original* pool for oracle lookups
+    alive = np.arange(len(X_pool))
+    n_labeled = [learner.n_labeled]
+    f1_curve, far_curve, amr_curve = [], [], []
+    f1_0, far_0, amr_0 = evaluate()
+    f1_curve.append(f1_0)
+    far_curve.append(far_0)
+    amr_curve.append(amr_0)
+    queried_labels: list = []
+    queried_apps: list = []
+
+    budget = min(n_queries, len(X_pool))
+    equal_app = strategy if isinstance(strategy, EqualAppSelector) else None
+
+    for q in range(budget):
+        if target_f1 is not None and f1_curve[-1] >= target_f1:
+            break
+        local_idx = learner.query(X_pool[alive])
+        orig_idx = int(alive[local_idx])
+        label = oracle.label(orig_idx)
+        queried_labels.append(label)
+        if pool_apps is not None:
+            queried_apps.append(str(np.asarray(pool_apps)[orig_idx]))
+        learner.teach(X_pool[orig_idx], label)
+        alive = np.delete(alive, local_idx)
+        if equal_app is not None:
+            equal_app.remove(local_idx)
+        if (q + 1) % eval_every == 0 or q == budget - 1:
+            learner.flush()
+            f1_q, far_q, amr_q = evaluate()
+            n_labeled.append(learner.n_labeled)
+            f1_curve.append(f1_q)
+            far_curve.append(far_q)
+            amr_curve.append(amr_q)
+
+    return ALResult(
+        n_labeled=np.array(n_labeled),
+        f1=np.array(f1_curve),
+        far=np.array(far_curve),
+        amr=np.array(amr_curve),
+        oracle=oracle,
+        queried_labels=queried_labels,
+        queried_apps=queried_apps,
+    )

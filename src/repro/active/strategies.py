@@ -1,0 +1,112 @@
+"""Pool-based query strategies (paper Sec. III-D, Eqs. 1–4).
+
+Each strategy scores every unlabeled sample from the model's predicted class
+probabilities and returns the index of the most informative one:
+
+* **classification uncertainty** — ``U(x) = 1 − max_k p_k``; pick max U.
+* **classification margin** — ``M(x) = p_(1) − p_(2)`` (top-two gap);
+  pick *min* M.
+* **classification entropy** — ``H(x) = −Σ p_k log p_k``; pick max H.
+
+The module exposes both the raw scoring functions (used by tests to verify
+the paper's worked example in Eq. 2) and selector callables with the
+uniform signature ``(model, X_pool, rng) -> int`` that the
+:class:`~repro.active.learner.ActiveLearner` consumes. Ties are broken by
+lowest index, matching modAL's argmax/argmin semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+__all__ = [
+    "uncertainty_scores",
+    "margin_scores",
+    "entropy_scores",
+    "uncertainty_sampling",
+    "margin_sampling",
+    "entropy_sampling",
+    "get_strategy",
+    "STRATEGIES",
+]
+
+
+class _ProbabilisticModel(Protocol):
+    def predict_proba(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def _check_proba(proba: np.ndarray) -> np.ndarray:
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got shape {proba.shape}")
+    return proba
+
+
+def uncertainty_scores(proba: np.ndarray) -> np.ndarray:
+    """Eq. 1: one minus the top class probability, per sample."""
+    proba = _check_proba(proba)
+    return 1.0 - proba.max(axis=1)
+
+
+def margin_scores(proba: np.ndarray) -> np.ndarray:
+    """Eq. 3: gap between the two most likely classes, per sample.
+
+    With a single class the margin is the top probability itself (the
+    second-best is zero), which makes one-class pools degenerate but
+    well-defined.
+    """
+    proba = _check_proba(proba)
+    if proba.shape[1] == 1:
+        return proba[:, 0].copy()
+    part = np.partition(proba, -2, axis=1)
+    return part[:, -1] - part[:, -2]
+
+
+def entropy_scores(proba: np.ndarray) -> np.ndarray:
+    """Eq. 4: Shannon entropy of the class distribution, per sample (nats)."""
+    proba = _check_proba(proba)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        terms = np.where(proba > 0, proba * np.log(np.where(proba > 0, proba, 1.0)), 0.0)
+    return -terms.sum(axis=1)
+
+
+def uncertainty_sampling(
+    model: _ProbabilisticModel, X_pool: np.ndarray, rng: np.random.Generator | None = None
+) -> int:
+    """Index of the pool sample with maximal classification uncertainty."""
+    return int(np.argmax(uncertainty_scores(model.predict_proba(X_pool))))
+
+
+def margin_sampling(
+    model: _ProbabilisticModel, X_pool: np.ndarray, rng: np.random.Generator | None = None
+) -> int:
+    """Index of the pool sample with the smallest top-two margin."""
+    return int(np.argmin(margin_scores(model.predict_proba(X_pool))))
+
+
+def entropy_sampling(
+    model: _ProbabilisticModel, X_pool: np.ndarray, rng: np.random.Generator | None = None
+) -> int:
+    """Index of the pool sample with maximal predictive entropy."""
+    return int(np.argmax(entropy_scores(model.predict_proba(X_pool))))
+
+
+StrategyFn = Callable[[_ProbabilisticModel, np.ndarray, np.random.Generator | None], int]
+
+STRATEGIES: dict[str, StrategyFn] = {
+    "uncertainty": uncertainty_sampling,
+    "margin": margin_sampling,
+    "entropy": entropy_sampling,
+}
+
+
+def get_strategy(name: str) -> StrategyFn:
+    """Look up a query strategy by its paper name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None

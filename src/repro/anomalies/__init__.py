@@ -1,0 +1,29 @@
+"""repro.anomalies — HPAS-style synthetic performance anomalies.
+
+The five injectors the paper uses (cpuoccupy, cachecopy, membw, memleak,
+dial) plus the intensity grids of both systems.
+"""
+
+from .base import ECLIPSE_INTENSITIES, VOLTA_INTENSITIES, Anomaly
+from .injectors import (
+    ANOMALIES,
+    CacheCopy,
+    CpuOccupy,
+    Dial,
+    MemBandwidth,
+    MemLeak,
+    get_anomaly,
+)
+
+__all__ = [
+    "ANOMALIES",
+    "Anomaly",
+    "CacheCopy",
+    "CpuOccupy",
+    "Dial",
+    "ECLIPSE_INTENSITIES",
+    "MemBandwidth",
+    "MemLeak",
+    "VOLTA_INTENSITIES",
+    "get_anomaly",
+]

@@ -1,0 +1,73 @@
+"""Anomaly protocol (HPAS stand-in, paper Sec. IV-C / Table III).
+
+An anomaly is a co-running process on the application's first allocated
+node that perturbs the node's resource demand. Injection operates in the
+same demand space as application signatures: the injector receives the
+application's (T, n_dims) demand timeline and returns the *combined*
+timeline the node actually experiences. Intensity ∈ (0, 1] scales the
+perturbation — the paper uses 2/5/10/20/50/100% on Volta and 2–3 settings
+per type on Eclipse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.base import check_random_state
+from ..telemetry.catalog import RESOURCE_DIMS
+
+__all__ = ["Anomaly", "VOLTA_INTENSITIES", "ECLIPSE_INTENSITIES"]
+
+# the paper's injection settings
+VOLTA_INTENSITIES = (0.02, 0.05, 0.10, 0.20, 0.50, 1.00)
+ECLIPSE_INTENSITIES = (0.10, 0.50, 1.00)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """Base class for synthetic performance anomalies.
+
+    Subclasses override :meth:`perturbation` to describe what the anomaly
+    process adds to (or subtracts from) node demand; :meth:`inject` applies
+    it with intensity scaling, per-run jitter, and a non-negativity floor.
+    """
+
+    name: str = "anomaly"
+
+    def perturbation(
+        self, T: int, intensity: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return the (T, n_dims) demand delta at full specification.
+
+        Subclasses implement this; the base class raises.
+        """
+        raise NotImplementedError
+
+    def inject(
+        self,
+        demand: np.ndarray,
+        intensity: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Combine the application's demand with this anomaly's perturbation."""
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+        demand = np.asarray(demand, dtype=np.float64)
+        if demand.ndim != 2 or demand.shape[1] != len(RESOURCE_DIMS):
+            raise ValueError(
+                f"demand must be (T, {len(RESOURCE_DIMS)}), got {demand.shape}"
+            )
+        rng = check_random_state(rng)
+        delta = self.perturbation(demand.shape[0], intensity, rng)
+        if delta.shape != demand.shape:
+            raise RuntimeError(
+                f"{type(self).__name__}.perturbation returned {delta.shape}, "
+                f"expected {demand.shape}"
+            )
+        return np.maximum(demand + delta, 0.0)
+
+    @staticmethod
+    def _dim(name: str) -> int:
+        return RESOURCE_DIMS.index(name)

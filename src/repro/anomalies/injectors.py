@@ -1,0 +1,200 @@
+"""The five HPAS anomalies the paper injects (Table III + the `dial` of Fig. 4).
+
+* **cpuoccupy** — a spinning arithmetic process: adds constant CPU demand.
+* **cachecopy** — repeated cache-sized read/write loops: cache pressure plus
+  secondary CPU and memory-bandwidth load (evictions spill to DRAM).
+* **membw** — uncached (streaming/non-temporal) memory writes: heavy memory
+  bandwidth with a modest CPU footprint.
+* **memleak** — increasingly allocates and fills memory: a *ramp* in
+  resident memory plus the fill traffic; the temporal trend (not the level)
+  is its fingerprint, which is why trend-type features matter.
+* **dial** — perturbs effective CPU frequency: unlike the additive
+  anomalies it *modulates* the application's own CPU-coupled demand
+  downward while leaving memory/network structure mostly intact. The paper
+  finds it the most-confused anomaly on Volta (lowest per-class F1, most
+  queried); its multiplicative, signature-preserving character is exactly
+  why.
+
+All perturbations carry small stochastic jitter so repeated injections of
+the same (anomaly, intensity) differ run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..telemetry.catalog import RESOURCE_DIMS
+from .base import Anomaly
+
+__all__ = [
+    "CpuOccupy",
+    "CacheCopy",
+    "MemBandwidth",
+    "MemLeak",
+    "Dial",
+    "ANOMALIES",
+    "get_anomaly",
+]
+
+
+def _noisy(base: float, rng: np.random.Generator, T: int, rel: float = 0.08) -> np.ndarray:
+    """A jittered constant level: base * (1 + small AR-ish noise)."""
+    noise = rng.normal(scale=rel, size=T)
+    # one-pole smoothing so the jitter looks like process load, not white noise
+    for i in range(1, T):
+        noise[i] = 0.7 * noise[i - 1] + 0.3 * noise[i]
+    return base * (1.0 + noise)
+
+
+def _duty_cycle(
+    T: int, intensity: float, rng: np.random.Generator, period: float = 10.0
+) -> np.ndarray:
+    """HPAS-style duty-cycled activity: 1.0 while the anomaly process is
+    busy, 0.0 while it sleeps, with ``intensity`` as the busy fraction.
+
+    HPAS anomalies throttle themselves by busy/sleep alternation inside a
+    fixed period, so even a 2%-intensity anomaly produces full-amplitude
+    excursions — just rarely. That is what makes low intensities hard but
+    not impossible for the classifier, matching the paper's behaviour.
+    ``intensity == 1`` is continuously active.
+    """
+    if intensity >= 1.0:
+        return np.ones(T)
+    t = np.arange(T, dtype=np.float64)
+    phase = rng.uniform(0.0, period)
+    jittered_period = period * rng.uniform(0.7, 1.4)
+    pos = ((t + phase) % jittered_period) / jittered_period
+    return (pos < intensity).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class CpuOccupy(Anomaly):
+    """CPU-intensive co-process performing arithmetic operations."""
+
+    name: str = "cpuoccupy"
+
+    def perturbation(self, T: int, intensity: float, rng: np.random.Generator) -> np.ndarray:
+        delta = np.zeros((T, len(RESOURCE_DIMS)))
+        duty = _duty_cycle(T, intensity, rng, period=30.0)
+        amp = rng.uniform(0.6, 1.15)
+        delta[:, self._dim("cpu")] = _noisy(0.85 * amp, rng, T) * duty
+        delta[:, self._dim("cache")] = _noisy(0.10 * amp, rng, T) * duty
+        return delta
+
+
+@dataclass(frozen=True)
+class CacheCopy(Anomaly):
+    """Cache contention: repeated cache read & write sweeps."""
+
+    name: str = "cachecopy"
+
+    def perturbation(self, T: int, intensity: float, rng: np.random.Generator) -> np.ndarray:
+        delta = np.zeros((T, len(RESOURCE_DIMS)))
+        duty = _duty_cycle(T, intensity, rng, period=24.0)
+        amp = rng.uniform(0.6, 1.15)
+        delta[:, self._dim("cache")] = _noisy(0.90 * amp, rng, T) * duty
+        delta[:, self._dim("cpu")] = _noisy(0.25 * amp, rng, T) * duty
+        # evicted lines spill to DRAM
+        delta[:, self._dim("membw")] = _noisy(0.30 * amp, rng, T) * duty
+        return delta
+
+
+@dataclass(frozen=True)
+class MemBandwidth(Anomaly):
+    """Memory-bandwidth contention: uncached (streaming) memory writes."""
+
+    name: str = "membw"
+
+    def perturbation(self, T: int, intensity: float, rng: np.random.Generator) -> np.ndarray:
+        delta = np.zeros((T, len(RESOURCE_DIMS)))
+        duty = _duty_cycle(T, intensity, rng, period=18.0)
+        amp = rng.uniform(0.6, 1.15)
+        delta[:, self._dim("membw")] = _noisy(0.95 * amp, rng, T) * duty
+        delta[:, self._dim("cpu")] = _noisy(0.15 * amp, rng, T) * duty
+        delta[:, self._dim("mem")] = _noisy(0.10 * amp, rng, T) * duty
+        return delta
+
+
+@dataclass(frozen=True)
+class MemLeak(Anomaly):
+    """Memory leak: increasingly allocate & fill memory (a resident ramp)."""
+
+    name: str = "memleak"
+
+    def perturbation(self, T: int, intensity: float, rng: np.random.Generator) -> np.ndarray:
+        delta = np.zeros((T, len(RESOURCE_DIMS)))
+        # resident memory ramps from 0 to ~intensity over the run, with a
+        # jittered leak rate so the slope varies between runs
+        rate = intensity * rng.uniform(0.85, 1.15)
+        ramp = np.linspace(0.0, rate, T)
+        delta[:, self._dim("mem")] = ramp
+        # allocation+fill happens in bursts whose frequency tracks intensity
+        duty = _duty_cycle(T, max(intensity, 0.05), rng, period=16.0)
+        amp = rng.uniform(0.6, 1.15)
+        delta[:, self._dim("membw")] = _noisy(0.35 * amp, rng, T) * duty
+        delta[:, self._dim("cpu")] = _noisy(0.12 * amp, rng, T) * duty
+        return delta
+
+
+@dataclass(frozen=True)
+class Dial(Anomaly):
+    """CPU frequency reduction: multiplicatively degrades CPU-coupled demand.
+
+    ``perturbation`` cannot express a multiplicative effect, so ``inject``
+    is overridden: the application's cpu/cache demand is scaled by
+    ``1 − 0.5·intensity`` (frequency dialed down), and the run gains a
+    slight uniform activity reduction. At low intensities this is nearly
+    indistinguishable from ordinary run-to-run variation — reproducing the
+    paper's "dial is the most confusing anomaly type" observation.
+    """
+
+    name: str = "dial"
+
+    def inject(
+        self,
+        demand: np.ndarray,
+        intensity: float,
+        rng=None,
+    ) -> np.ndarray:
+        from ..mlcore.base import check_random_state
+
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+        demand = np.asarray(demand, dtype=np.float64)
+        rng = check_random_state(rng)
+        T = demand.shape[0]
+        out = demand.copy()
+        # HPAS's dial steps the frequency between max and min on a cycle;
+        # intensity is the fraction of time spent dialed down (same duty
+        # convention as the additive anomalies), and the dialed-down
+        # slowdown is the fixed max/min frequency ratio of the part
+        dialed = _duty_cycle(T, intensity, rng, period=30.0)
+        depth = 0.55 * rng.uniform(0.7, 1.2)
+        slow = 1.0 - depth * dialed  # (T,)
+        for dim in ("cpu", "cache"):
+            out[:, self._dim(dim)] *= slow
+        # lower frequency → everything downstream progresses a bit slower
+        for dim in ("membw", "net", "io"):
+            out[:, self._dim(dim)] *= 1.0 - 0.3 * depth * dialed
+        return np.maximum(out, 0.0)
+
+    def perturbation(self, T: int, intensity: float, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError("Dial is multiplicative; use inject()")
+
+
+ANOMALIES: dict[str, Anomaly] = {
+    a.name: a
+    for a in (CpuOccupy(), CacheCopy(), MemBandwidth(), MemLeak(), Dial())
+}
+
+
+def get_anomaly(name: str) -> Anomaly:
+    """Look up an anomaly injector by its paper name."""
+    try:
+        return ANOMALIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown anomaly {name!r}; available: {sorted(ANOMALIES)}"
+        ) from None

@@ -1,0 +1,21 @@
+"""repro.apps — synthetic HPC application workload signatures.
+
+Phase-program models of every application the paper runs: the eleven Volta
+benchmarks/proxies (Table I) and the six Eclipse real/ECP-proxy
+applications (Table II), each with three input decks and characteristic
+run-to-run variability.
+"""
+
+from .base import AppSignature, Phase, demand_vector
+from .eclipse_apps import ECLIPSE_APPS, eclipse_app
+from .volta_apps import VOLTA_APPS, volta_app
+
+__all__ = [
+    "AppSignature",
+    "ECLIPSE_APPS",
+    "Phase",
+    "VOLTA_APPS",
+    "demand_vector",
+    "eclipse_app",
+    "volta_app",
+]

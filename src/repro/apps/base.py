@@ -1,0 +1,224 @@
+"""Application workload signatures (the paper's Tables I & II substrate).
+
+Each HPC application is modeled as a *phase program*: an ordered list of
+phases (init, compute, communication, I/O, teardown), each exerting a
+characteristic demand on the node's resource dimensions, plus an iterative
+oscillation (solvers sweep, exchange halos, checkpoint — telemetry shows it
+as periodic structure) and run-to-run variation (same input deck, different
+execution — the paper's motivating performance-variability phenomenon).
+
+The classifier sees apps exactly as the paper's does: through statistical
+features of the resulting telemetry. Apps are distinguishable because their
+phase programs differ; some are deliberately high-variance (Kripke, MiniMD,
+MiniAMR — the apps whose healthy runs the paper found most queried, i.e.
+hardest to separate from anomalous behaviour).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.base import check_random_state
+from ..telemetry.catalog import RESOURCE_DIMS
+
+__all__ = ["Phase", "AppSignature", "demand_vector"]
+
+
+def _deck_hash_unit(app: str, deck: int, salt: str) -> float:
+    """Deterministic float in [0, 1) tied to an (app, input deck) pair."""
+    digest = hashlib.sha256(f"{app}:deck{deck}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def demand_vector(**dims: float) -> np.ndarray:
+    """Build a demand vector from keyword dims, e.g. ``demand_vector(cpu=0.8)``."""
+    vec = np.zeros(len(RESOURCE_DIMS))
+    for name, value in dims.items():
+        try:
+            vec[RESOURCE_DIMS.index(name)] = value
+        except ValueError:
+            raise ValueError(
+                f"unknown resource dim {name!r}; valid: {RESOURCE_DIMS}"
+            ) from None
+    return vec
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of an application's execution.
+
+    ``weight`` is the phase's share of total runtime; ``demand`` its mean
+    resource demand; ``osc_amp``/``osc_period`` describe the iterative
+    oscillation riding on top (period in seconds at 1 Hz).
+    """
+
+    name: str
+    weight: float
+    demand: np.ndarray
+    osc_amp: float = 0.0
+    osc_period: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"phase weight must be positive, got {self.weight}")
+        if self.osc_period <= 0:
+            raise ValueError(f"osc_period must be positive, got {self.osc_period}")
+        if np.asarray(self.demand).shape != (len(RESOURCE_DIMS),):
+            raise ValueError(
+                f"demand must have shape ({len(RESOURCE_DIMS)},)"
+            )
+
+
+@dataclass(frozen=True)
+class AppSignature:
+    """A named application with its phase program and variability knobs.
+
+    Parameters
+    ----------
+    phases:
+        Phase program; weights are normalized internally.
+    input_scales:
+        Per-input-deck overall multipliers on demand. On top of this, each
+        deck applies a deterministic per-dimension *mix* (problem size
+        changes cache residency, communication surface, I/O volume — not
+        just intensity) and stretches the iteration period. Different
+        decks therefore shift the application's whole signature, which is
+        exactly what breaks classifiers in the Fig. 8 unseen-input test
+        (the paper measures an initial F1 of 0.2 there).
+    input_mix_strength:
+        Half-width of the per-dimension deck multiplier (0.25 → each deck
+        scales each resource dimension by a factor in [0.75, 1.25]).
+    run_variation:
+        Std-dev of the per-run lognormal demand scaling — the natural
+        performance variability of the application.
+    comm_per_node:
+        Extra network demand per additional allocated node (multi-node runs
+        communicate more; Eclipse runs span 4/8/16 nodes).
+    noise_burst_rate:
+        Expected number of benign OS-noise transients per 100 s — short
+        bursts of daemon/cron/kernel activity on random resource dimensions.
+        They are part of *healthy* behaviour, yet resemble weak anomalies;
+        they are why healthy is the hardest class to pin down from few
+        samples (the paper's Fig. 4: healthy is the most-queried label).
+    noise_burst_amp:
+        Peak demand amplitude of those transients.
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    input_scales: tuple[float, ...] = (1.0, 1.15, 0.85)
+    run_variation: float = 0.05
+    comm_per_node: float = 0.01
+    suite: str = ""
+    noise_burst_rate: float = 2.0
+    noise_burst_amp: float = 0.35
+    input_mix_strength: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("an application needs at least one phase")
+        if not self.input_scales:
+            raise ValueError("need at least one input deck scale")
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of defined input decks."""
+        return len(self.input_scales)
+
+    def demand_timeline(
+        self,
+        duration: int,
+        input_deck: int = 0,
+        node_count: int = 4,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Generate the (duration, n_dims) demand timeline for one run.
+
+        The timeline concatenates the phase program (durations proportional
+        to weights), applies the input-deck scale, a per-run lognormal
+        variation drawn once, per-phase oscillation, extra network demand
+        from the node count, and small temporal jitter.
+        """
+        if duration < len(self.phases):
+            raise ValueError(
+                f"duration {duration} shorter than the {len(self.phases)}-phase program"
+            )
+        if not 0 <= input_deck < self.n_inputs:
+            raise ValueError(
+                f"input_deck {input_deck} out of range [0, {self.n_inputs})"
+            )
+        if node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {node_count}")
+        rng = check_random_state(rng)
+
+        weights = np.array([p.weight for p in self.phases], dtype=float)
+        weights /= weights.sum()
+        # largest-remainder allocation so phase lengths sum to duration
+        raw = weights * duration
+        lengths = np.floor(raw).astype(int)
+        remainder = duration - lengths.sum()
+        order = np.argsort(-(raw - lengths))
+        lengths[order[:remainder]] += 1
+        lengths = np.maximum(lengths, 1)
+        # trimming may overshoot; shave from the longest phases
+        while lengths.sum() > duration:
+            lengths[np.argmax(lengths)] -= 1
+
+        deck_scale = self.input_scales[input_deck]
+        # per-deck per-dimension mix: a different input deck is a different
+        # problem, with its own balance of compute / cache / bandwidth / IO
+        s = self.input_mix_strength
+        deck_mix = np.array(
+            [
+                1.0 - s + 2.0 * s * _deck_hash_unit(self.name, input_deck, f"mix{i}")
+                for i in range(len(RESOURCE_DIMS))
+            ]
+        )
+        # the iteration period stretches with problem size too
+        period_scale = 0.75 + 0.5 * _deck_hash_unit(self.name, input_deck, "period")
+        run_scale = rng.lognormal(mean=0.0, sigma=self.run_variation)
+        comm_extra = demand_vector(net=self.comm_per_node * max(0, node_count - 1))
+
+        rows: list[np.ndarray] = []
+        t0 = 0
+        phase_jitter = rng.normal(scale=0.02, size=len(self.phases))
+        for p, length, jitter in zip(self.phases, lengths, phase_jitter):
+            t = np.arange(t0, t0 + length)
+            base = p.demand * deck_mix * deck_scale * run_scale * (1.0 + jitter)
+            seg = np.tile(base, (length, 1))
+            if p.osc_amp > 0:
+                phase_shift = rng.uniform(0, 2 * np.pi)
+                osc = p.osc_amp * np.sin(
+                    2 * np.pi * t / (p.osc_period * period_scale) + phase_shift
+                )
+                # oscillation modulates the dimensions the phase uses
+                mask = base > 1e-6
+                seg[:, mask] *= (1.0 + osc)[:, None]
+            seg += comm_extra
+            rows.append(seg)
+            t0 += length
+        timeline = np.vstack(rows)
+        timeline += rng.normal(scale=0.01, size=timeline.shape)
+        self._add_noise_bursts(timeline, rng)
+        return np.maximum(timeline, 0.0)
+
+    def _add_noise_bursts(self, timeline: np.ndarray, rng: np.random.Generator) -> None:
+        """Superimpose benign OS-noise transients (in place).
+
+        Each burst hits 1–2 random resource dimensions for 2–8 s with a
+        random amplitude up to ``noise_burst_amp`` — cron jobs, kernel
+        housekeeping, filesystem flushes. Healthy runs therefore have
+        heavy-tailed feature distributions that a single labeled sample
+        cannot summarize.
+        """
+        T = timeline.shape[0]
+        n_bursts = rng.poisson(self.noise_burst_rate * T / 100.0)
+        for _ in range(n_bursts):
+            start = int(rng.integers(0, T))
+            length = int(rng.integers(2, 9))
+            dims = rng.choice(len(RESOURCE_DIMS), size=int(rng.integers(1, 3)), replace=False)
+            amp = rng.uniform(0.1, self.noise_burst_amp)
+            timeline[start : start + length, dims] += amp

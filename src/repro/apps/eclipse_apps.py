@@ -1,0 +1,150 @@
+"""The six Eclipse applications (paper Table II).
+
+Three real applications — LAMMPS (molecular dynamics), HACC (cosmology),
+sw4 (seismic) — and three ECP proxies — ExaMiniMD, SWFFT, sw4lite. Real
+applications are longer, run on varying node counts (4/8/16 with a distinct
+input per count), and show richer internal phase structure than the Volta
+benchmarks; the paper attributes Eclipse's ~10× higher query requirement to
+this complexity. We encode that complexity as: more phases per app, higher
+run variation, and proxy apps that *deliberately shadow* their parent
+application's profile (ExaMiniMD ≈ LAMMPS, sw4lite ≈ sw4, SWFFT ≈ HACC's
+FFT core) — inter-class confusability the Volta set doesn't have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .base import AppSignature, Phase, demand_vector as dv
+
+__all__ = ["ECLIPSE_APPS", "eclipse_app"]
+
+# Production-system conditions (vs the quiet Volta testbed): more OS/service
+# noise on the nodes, and input decks that reshape the workload more —
+# Eclipse pairs a different deck with every node count (4/8/16), so deck
+# effects compound with communication scaling. These are what make Eclipse
+# the harder dataset in the paper (starting F1 0.72 vs 0.86, ~10x more
+# queries to the same target).
+_PRODUCTION_NOISE = {
+    "noise_burst_rate": 3.5,
+    "noise_burst_amp": 0.45,
+    "input_mix_strength": 0.35,
+}
+
+_INIT = Phase("init", 0.05, dv(cpu=0.15, io=0.45, mem=0.30))
+_TEARDOWN = Phase("teardown", 0.04, dv(io=0.55, cpu=0.1))
+
+
+ECLIPSE_APPS: dict[str, AppSignature] = {
+    "LAMMPS": AppSignature(
+        name="LAMMPS",
+        suite="real",
+        phases=(
+            _INIT,
+            Phase("pair-forces", 0.48, dv(cpu=0.70, cache=0.60, mem=0.40, net=0.18),
+                  osc_amp=0.10, osc_period=12.0),
+            Phase("kspace", 0.25, dv(cpu=0.50, membw=0.55, net=0.40, mem=0.42),
+                  osc_amp=0.14, osc_period=12.0),
+            Phase("output-dump", 0.08, dv(io=0.65, cpu=0.20, mem=0.40),
+                  osc_amp=0.20, osc_period=40.0),
+            Phase("pair-forces-2", 0.12, dv(cpu=0.68, cache=0.58, mem=0.44, net=0.18),
+                  osc_amp=0.10, osc_period=12.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.09,
+        comm_per_node=0.015,
+    ),
+    "HACC": AppSignature(
+        name="HACC",
+        suite="real",
+        phases=(
+            _INIT,
+            Phase("short-force", 0.40, dv(cpu=0.82, cache=0.45, mem=0.55),
+                  osc_amp=0.08, osc_period=17.0),
+            Phase("fft-long-range", 0.30, dv(cpu=0.45, membw=0.50, net=0.68, mem=0.58),
+                  osc_amp=0.18, osc_period=17.0),
+            Phase("particle-exchange", 0.14, dv(net=0.70, cpu=0.25, mem=0.55),
+                  osc_amp=0.22, osc_period=17.0),
+            Phase("analysis-io", 0.07, dv(io=0.70, cpu=0.30, mem=0.55),
+                  osc_amp=0.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.08,
+        comm_per_node=0.02,
+    ),
+    "sw4": AppSignature(
+        name="sw4",
+        suite="real",
+        phases=(
+            _INIT,
+            Phase("stencil-update", 0.55, dv(cpu=0.60, membw=0.68, cache=0.40, mem=0.60, net=0.22),
+                  osc_amp=0.12, osc_period=22.0),
+            Phase("boundary-comm", 0.20, dv(net=0.55, cpu=0.30, membw=0.35, mem=0.58),
+                  osc_amp=0.15, osc_period=22.0),
+            Phase("checkpoint", 0.10, dv(io=0.72, cpu=0.18, mem=0.58),
+                  osc_amp=0.25, osc_period=45.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.10,
+        comm_per_node=0.015,
+    ),
+    # ECP proxies: each shadows its parent's kernel with simpler structure
+    "ExaMiniMD": AppSignature(
+        name="ExaMiniMD",
+        suite="ECP-proxy",
+        phases=(
+            _INIT,
+            Phase("pair-forces", 0.72, dv(cpu=0.66, cache=0.56, mem=0.36, net=0.16),
+                  osc_amp=0.10, osc_period=11.0),
+            Phase("neighbor-rebuild", 0.18, dv(cpu=0.42, membw=0.52, mem=0.38),
+                  osc_amp=0.12, osc_period=26.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.10,
+        comm_per_node=0.012,
+    ),
+    "SWFFT": AppSignature(
+        name="SWFFT",
+        suite="ECP-proxy",
+        phases=(
+            _INIT,
+            Phase("fft-compute", 0.50, dv(cpu=0.52, membw=0.48, mem=0.52),
+                  osc_amp=0.14, osc_period=16.0),
+            Phase("all-to-all", 0.40, dv(net=0.72, cpu=0.25, membw=0.35, mem=0.52),
+                  osc_amp=0.20, osc_period=16.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.09,
+        comm_per_node=0.02,
+    ),
+    "sw4lite": AppSignature(
+        name="sw4lite",
+        suite="ECP-proxy",
+        phases=(
+            _INIT,
+            Phase("stencil-update", 0.70, dv(cpu=0.58, membw=0.64, cache=0.38, mem=0.55, net=0.20),
+                  osc_amp=0.12, osc_period=20.0),
+            Phase("boundary-comm", 0.20, dv(net=0.50, cpu=0.28, membw=0.32, mem=0.54),
+                  osc_amp=0.15, osc_period=20.0),
+            _TEARDOWN,
+        ),
+        run_variation=0.10,
+        comm_per_node=0.014,
+    ),
+}
+
+
+ECLIPSE_APPS = {
+    name: dataclasses.replace(app, **_PRODUCTION_NOISE)
+    for name, app in ECLIPSE_APPS.items()
+}
+
+
+def eclipse_app(name: str) -> AppSignature:
+    """Look up an Eclipse application signature by name."""
+    try:
+        return ECLIPSE_APPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown Eclipse app {name!r}; available: {sorted(ECLIPSE_APPS)}"
+        ) from None

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The operational surface a site would actually script against:
+
+* ``collect``  — run a telemetry campaign on the simulated system and save
+  the raw runs to an ``.npz`` archive;
+* ``train``    — split an archive Fig. 2-style, train ALBADross with the
+  active-learning loop (ground-truth oracle), and save the model;
+* ``diagnose`` — load a model and an archive, print per-run diagnoses;
+* ``evaluate`` — load a model and a *labeled* archive, print the paper's
+  metrics (macro F1, false-alarm and anomaly-miss rates) plus the
+  per-class report;
+* ``info``     — show the system inventories (apps, anomalies, metrics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ALBADross: active-learning anomaly diagnosis for HPC systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="run a campaign, save raw runs")
+    p.add_argument("--system", choices=("volta", "eclipse"), default="volta")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--healthy-per-cell", type=int, default=6)
+    p.add_argument("--anomalous-per-cell", type=int, default=6)
+    p.add_argument("--duration", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=Path, required=True)
+
+    p = sub.add_parser("train", help="train ALBADross on a run archive")
+    p.add_argument("--runs", type=Path, required=True)
+    p.add_argument("--system", choices=("volta", "eclipse"), default="volta")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--features", choices=("mvts", "tsfresh"), default="mvts")
+    p.add_argument("--n-features", type=int, default=300)
+    p.add_argument("--strategy", choices=("uncertainty", "margin", "entropy"),
+                   default="uncertainty")
+    p.add_argument("--max-queries", type=int, default=50)
+    p.add_argument("--target-f1", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=Path, required=True)
+
+    p = sub.add_parser("diagnose", help="diagnose runs with a trained model")
+    p.add_argument("--model", type=Path, required=True)
+    p.add_argument("--runs", type=Path, required=True)
+    p.add_argument("--limit", type=int, default=None)
+
+    p = sub.add_parser("evaluate", help="score a trained model on labeled runs")
+    p.add_argument("--model", type=Path, required=True)
+    p.add_argument("--runs", type=Path, required=True)
+
+    p = sub.add_parser("info", help="show system inventories")
+    p.add_argument("--system", choices=("volta", "eclipse"), default="volta")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _config_for(args) -> "SystemConfig":
+    from .datasets import eclipse_config, volta_config
+
+    maker = volta_config if args.system == "volta" else eclipse_config
+    kwargs = dict(scale=args.scale)
+    if getattr(args, "healthy_per_cell", None) is not None and hasattr(args, "healthy_per_cell"):
+        kwargs["n_healthy_per_app_input"] = args.healthy_per_cell
+        kwargs["n_anomalous_per_app_anomaly"] = args.anomalous_per_cell
+        kwargs["duration"] = args.duration
+    return maker(**kwargs)
+
+
+def _cmd_collect(args) -> int:
+    from .datasets import generate_runs
+    from .datasets.runs_io import save_runs
+
+    config = _config_for(args)
+    runs = generate_runs(config, rng=args.seed)
+    path = save_runs(runs, args.out)
+    labels = sorted({r.label for r in runs})
+    print(f"collected {len(runs)} runs on {config.name} "
+          f"({len(config.catalog)} metrics, {config.duration}s @ 1 Hz)")
+    print(f"labels: {labels}")
+    print(f"saved to {path}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import ALBADross, FrameworkConfig, save_framework
+    from .datasets.runs_io import load_runs
+
+    runs = load_runs(args.runs)
+    rng = np.random.default_rng(args.seed)
+    order = rng.permutation(len(runs))
+    seed_runs, pool_runs, val_runs = [], [], []
+    seen = set()
+    for i in order:
+        run = runs[i]
+        key = (run.app, run.label)
+        if key not in seen:
+            seen.add(key)
+            seed_runs.append(run)
+        elif rng.random() < 0.25:
+            val_runs.append(run)
+        else:
+            pool_runs.append(run)
+    if not val_runs or not pool_runs:
+        print("archive too small to split into seed/pool/validation", file=sys.stderr)
+        return 2
+
+    config = _config_for(args)
+    framework = ALBADross(
+        config.catalog,
+        FrameworkConfig(
+            feature_method=args.features,
+            n_features=args.n_features,
+            query_strategy=args.strategy,
+            max_queries=args.max_queries,
+            target_f1=args.target_f1,
+            random_state=args.seed,
+        ),
+    )
+    print(f"seed={len(seed_runs)} pool={len(pool_runs)} validation={len(val_runs)}")
+    framework.fit_features(seed_runs + pool_runs)
+    framework.fit_initial(seed_runs, [r.label for r in seed_runs])
+    result = framework.learn(
+        pool_runs, [r.label for r in pool_runs],
+        val_runs, [r.label for r in val_runs],
+    )
+    print(f"active learning: F1 {result.initial_f1:.3f} -> {result.final_f1:.3f} "
+          f"with {result.oracle.n_queries} annotator queries")
+    path = save_framework(framework, args.out)
+    print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .core import load_framework
+    from .datasets.runs_io import load_runs
+
+    framework = load_framework(args.model)
+    runs = load_runs(args.runs)
+    if args.limit is not None:
+        runs = runs[: args.limit]
+    for run, diag in zip(runs, framework.diagnose(runs)):
+        print(f"{run.app:<12} deck={run.input_deck} node={run.node_id:<4} "
+              f"-> {diag.label:<10} (confidence {diag.confidence:.2f})")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .core import load_framework
+    from .datasets.runs_io import load_runs
+    from .mlcore import (
+        anomaly_miss_rate,
+        classification_report,
+        f1_score,
+        false_alarm_rate,
+    )
+
+    framework = load_framework(args.model)
+    runs = load_runs(args.runs)
+    truth = np.array([r.label for r in runs])
+    pred = np.array([d.label for d in framework.diagnose(runs)])
+    print(f"macro F1          : {f1_score(truth, pred):.3f}")
+    print(f"false alarm rate  : {false_alarm_rate(truth, pred):.3f}")
+    print(f"anomaly miss rate : {anomaly_miss_rate(truth, pred):.3f}")
+    print()
+    print(classification_report(truth, pred))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .anomalies import ANOMALIES
+    from .apps import ECLIPSE_APPS, VOLTA_APPS
+    from .telemetry import eclipse_catalog, volta_catalog
+
+    if args.system == "volta":
+        apps, catalog = VOLTA_APPS, volta_catalog()
+    else:
+        apps, catalog = ECLIPSE_APPS, eclipse_catalog()
+    print(f"system: {args.system}")
+    print(f"metrics: {len(catalog)} (full-scale catalog)")
+    print("applications:")
+    for name, app in sorted(apps.items()):
+        print(f"  {name:<12} suite={app.suite:<10} inputs={app.n_inputs} "
+              f"variation={app.run_variation}")
+    print("anomalies:")
+    for name in sorted(ANOMALIES):
+        print(f"  {name}")
+    return 0
+
+
+_COMMANDS = {
+    "collect": _cmd_collect,
+    "train": _cmd_train,
+    "diagnose": _cmd_diagnose,
+    "evaluate": _cmd_evaluate,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

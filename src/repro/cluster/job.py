@@ -1,0 +1,69 @@
+"""Jobs: multi-node application executions (paper Sec. IV-A).
+
+The paper runs every application over several compute nodes (4 on Volta;
+4/8/16 on Eclipse) and collects one telemetry sample *per node*. When an
+anomaly is injected, it runs on the **first allocated node only** — so a
+single anomalous job yields one anomalous sample and N−1 healthy samples
+from the same execution. That per-node labeling is what
+:class:`~repro.cluster.simulator.ClusterSim` reproduces; this module
+defines the job description it schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..anomalies.base import Anomaly
+from ..apps.base import AppSignature
+
+__all__ = ["Job"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One scheduled application execution.
+
+    Parameters
+    ----------
+    app:
+        The application signature to run.
+    input_deck:
+        Which input deck (0-based; must exist on the app).
+    node_count:
+        Number of compute nodes the job spans.
+    duration:
+        Wall-clock seconds (= telemetry samples at 1 Hz).
+    anomaly:
+        Optional anomaly co-scheduled on the job's first allocated node.
+    intensity:
+        Anomaly intensity in (0, 1]; ignored when ``anomaly`` is None.
+    """
+
+    app: AppSignature
+    input_deck: int = 0
+    node_count: int = 4
+    duration: int = 120
+    anomaly: Anomaly | None = None
+    intensity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {self.node_count}")
+        if self.duration < 8:
+            raise ValueError(f"duration too short: {self.duration}")
+        if not 0 <= self.input_deck < self.app.n_inputs:
+            raise ValueError(
+                f"input_deck {self.input_deck} out of range for {self.app.name}"
+            )
+        if self.anomaly is not None and not 0.0 < self.intensity <= 1.0:
+            raise ValueError(
+                f"anomalous job needs intensity in (0, 1], got {self.intensity}"
+            )
+
+    @property
+    def label_for_node(self) -> dict[int, str]:
+        """Ground-truth label per local node rank (paper's labeling rule)."""
+        labels = {rank: "healthy" for rank in range(self.node_count)}
+        if self.anomaly is not None:
+            labels[0] = self.anomaly.name
+        return labels

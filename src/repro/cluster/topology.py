@@ -1,0 +1,98 @@
+"""Network topology and neighbor-job interference.
+
+Volta is "52 computing nodes organized in 13 connected switches, each with
+four nodes" (paper Sec. IV-A). Nodes sharing a switch share injection
+bandwidth, so a communication-heavy job degrades its switch neighbors —
+the "there goes the neighborhood" effect the paper cites ([6]) as a real
+source of production performance variation. This module models that layer:
+
+* :class:`SwitchTopology` — the node→switch map and per-switch bandwidth;
+* :func:`contention_factors` — given concurrent jobs' placements and their
+  network demands, the per-node slowdown of network-coupled activity.
+
+:class:`~repro.cluster.simulator.ClusterSim` applies these factors when
+constructed with a topology, turning co-scheduled communication-heavy jobs
+into genuine (unlabeled!) performance variation in each other's telemetry
+— background noise the diagnosis model must be robust to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SwitchTopology", "VOLTA_TOPOLOGY", "contention_factors"]
+
+
+@dataclass(frozen=True)
+class SwitchTopology:
+    """Nodes grouped under shared switches.
+
+    Parameters
+    ----------
+    n_nodes:
+        Total compute nodes.
+    nodes_per_switch:
+        Group size; node ``i`` hangs off switch ``i // nodes_per_switch``.
+    switch_bandwidth:
+        Aggregate network capacity of one switch, in the same normalized
+        units as node-level ``net`` demand (1.0 = one node's full rate).
+    """
+
+    n_nodes: int
+    nodes_per_switch: int = 4
+    switch_bandwidth: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.nodes_per_switch < 1:
+            raise ValueError("need positive node and group counts")
+        if self.switch_bandwidth <= 0:
+            raise ValueError("switch_bandwidth must be positive")
+
+    @property
+    def n_switches(self) -> int:
+        """Number of switches (last one may be partially filled)."""
+        return -(-self.n_nodes // self.nodes_per_switch)
+
+    def switch_of(self, node_id: int) -> int:
+        """Which switch a node hangs off."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node {node_id} outside [0, {self.n_nodes})")
+        return node_id // self.nodes_per_switch
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Other nodes on the same switch."""
+        s = self.switch_of(node_id)
+        lo = s * self.nodes_per_switch
+        hi = min(lo + self.nodes_per_switch, self.n_nodes)
+        return [n for n in range(lo, hi) if n != node_id]
+
+
+VOLTA_TOPOLOGY = SwitchTopology(n_nodes=52, nodes_per_switch=4)
+
+
+def contention_factors(
+    topology: SwitchTopology,
+    node_net_demand: dict[int, float],
+) -> dict[int, float]:
+    """Per-node network slowdown from switch oversubscription.
+
+    ``node_net_demand`` maps node id → that node's mean network demand.
+    When a switch's total demand exceeds its bandwidth, every node on it
+    receives its proportional share: factor = bandwidth / total ≤ 1.
+    Nodes on uncontended switches get factor 1.0.
+    """
+    totals: dict[int, float] = {}
+    for node_id, demand in node_net_demand.items():
+        if demand < 0:
+            raise ValueError(f"negative net demand on node {node_id}")
+        s = topology.switch_of(node_id)
+        totals[s] = totals.get(s, 0.0) + demand
+    factors: dict[int, float] = {}
+    for node_id in node_net_demand:
+        s = topology.switch_of(node_id)
+        total = totals[s]
+        factors[node_id] = (
+            1.0 if total <= topology.switch_bandwidth
+            else topology.switch_bandwidth / total
+        )
+    return factors

@@ -1,0 +1,195 @@
+"""Annotator assistance: explain *why* a run was queried (paper future work).
+
+The paper's conclusion plans "an interactive dashboard to make the querying
+process easier for human annotators … incorporate some unsupervised
+techniques and domain heuristics together to point out the most important
+metrics". This module implements the analytics behind that dashboard:
+
+* :class:`MetricHighlighter` — fits per-metric robust baselines (median/IQR
+  of summary statistics) on healthy runs and scores how anomalous each
+  metric of a queried run looks, so the annotator sees the top-k deviating
+  metrics instead of 700 raw time series;
+* :class:`AnnotationSession` — drives a query loop where each query is
+  presented as a text card (model's guess + confidence, top deviating
+  metrics with direction), collects the label, and teaches the learner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..active.learner import ActiveLearner
+from ..telemetry.catalog import MetricCatalog
+from ..telemetry.collector import RunRecord
+from ..features.pipeline import preprocess_run
+
+__all__ = ["MetricDeviation", "MetricHighlighter", "AnnotationSession"]
+
+
+@dataclass(frozen=True)
+class MetricDeviation:
+    """One metric's deviation from the healthy baseline."""
+
+    metric: str
+    z_mean: float  # robust z-score of the run's mean level
+    z_spread: float  # robust z-score of the run's variability
+    direction: str  # "high" / "low" / "volatile"
+
+    @property
+    def score(self) -> float:
+        """Combined severity used for ranking."""
+        return max(abs(self.z_mean), abs(self.z_spread))
+
+
+class MetricHighlighter:
+    """Rank a run's metrics by deviation from healthy behaviour.
+
+    Fits robust per-metric baselines (median and IQR of per-run mean and
+    standard deviation) on a corpus of healthy runs; ``explain`` then
+    scores any run's metrics with robust z-scores against that baseline.
+    """
+
+    def __init__(self, catalog: MetricCatalog, top_k: int = 8):
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.catalog = catalog
+        self.top_k = top_k
+
+    def _summaries(self, run: RunRecord) -> tuple[np.ndarray, np.ndarray]:
+        clean = preprocess_run(run.data, self.catalog.counter_mask)
+        return clean.mean(axis=0), clean.std(axis=0)
+
+    def fit(self, healthy_runs: Sequence[RunRecord]) -> "MetricHighlighter":
+        """Learn healthy baselines from (at least two) healthy runs."""
+        if len(healthy_runs) < 2:
+            raise ValueError("need at least 2 healthy runs for a baseline")
+        means, stds = zip(*(self._summaries(r) for r in healthy_runs))
+        means = np.stack(means)
+        stds = np.stack(stds)
+        self.mean_center_ = np.median(means, axis=0)
+        self.mean_scale_ = self._iqr_scale(means)
+        self.std_center_ = np.median(stds, axis=0)
+        self.std_scale_ = self._iqr_scale(stds)
+        return self
+
+    @staticmethod
+    def _iqr_scale(mat: np.ndarray) -> np.ndarray:
+        q1, q3 = np.percentile(mat, [25, 75], axis=0)
+        iqr = q3 - q1
+        # 1.349 IQR ≈ 1 sigma for a normal. The floor matters: baselines
+        # are fit on a handful of runs, so a metric can have a near-zero
+        # IQR by chance — a purely absolute floor then turns ordinary
+        # fluctuations into astronomical z-scores. Floor at a small
+        # fraction of the metric's typical magnitude instead.
+        center = np.median(np.abs(mat), axis=0)
+        return np.maximum(iqr / 1.349, 0.02 * center + 1e-6)
+
+    #: z-scores are clipped here: beyond this the metric is simply "very
+    #: anomalous", and uncapped values (a clamped counter whose spread was
+    #: ~0 in every baseline run) would drown the ranking in one metric.
+    Z_CAP = 25.0
+
+    def explain(self, run: RunRecord) -> list[MetricDeviation]:
+        """Top-k metric deviations of one run, most severe first."""
+        if not hasattr(self, "mean_center_"):
+            raise RuntimeError("fit() on healthy runs first")
+        mean, std = self._summaries(run)
+        z_mean = np.clip(
+            (mean - self.mean_center_) / self.mean_scale_, -self.Z_CAP, self.Z_CAP
+        )
+        z_spread = np.clip(
+            (std - self.std_center_) / self.std_scale_, -self.Z_CAP, self.Z_CAP
+        )
+        deviations = []
+        for name, zm, zs in zip(self.catalog.names, z_mean, z_spread):
+            if abs(zs) > abs(zm):
+                direction = "volatile"
+            else:
+                direction = "high" if zm > 0 else "low"
+            deviations.append(
+                MetricDeviation(
+                    metric=name,
+                    z_mean=float(zm),
+                    z_spread=float(zs),
+                    direction=direction,
+                )
+            )
+        deviations.sort(key=lambda d: -d.score)
+        return deviations[: self.top_k]
+
+    def severity(self, run: RunRecord) -> float:
+        """Aggregate anomaly severity: mean score of the top-k deviations.
+
+        A coarse triage signal: anomalous runs deviate in *several* coupled
+        metrics, while a healthy run's occasional single-metric excursion
+        (an OS-noise burst) averages down.
+        """
+        return float(np.mean([d.score for d in self.explain(run)]))
+
+
+class AnnotationSession:
+    """Interactive-style annotation loop with explanation cards.
+
+    ``annotator`` is any callable ``(card_text, run) -> label`` — a human
+    at a terminal, or ground truth in tests/simulations. Each card shows
+    the model's current guess with confidence and the top deviating
+    metrics from the :class:`MetricHighlighter`.
+    """
+
+    def __init__(
+        self,
+        learner: ActiveLearner,
+        highlighter: MetricHighlighter,
+        featurize: Callable[[RunRecord], np.ndarray],
+        annotator: Callable[[str, RunRecord], object],
+    ):
+        self.learner = learner
+        self.highlighter = highlighter
+        self.featurize = featurize
+        self.annotator = annotator
+        self.cards: list[str] = []
+
+    def _card(self, run: RunRecord, x: np.ndarray) -> str:
+        proba = self.learner.predict_proba(x.reshape(1, -1))[0]
+        order = np.argsort(-proba)
+        guesses = ", ".join(
+            f"{self.learner.model.classes_[i]} ({proba[i]:.2f})" for i in order[:3]
+        )
+        lines = [
+            f"QUERY #{self.learner.n_labeled + 1}",
+            f"  app={run.app} input={run.input_deck} nodes={run.node_count}",
+            f"  model guess: {guesses}",
+            "  most deviating metrics vs healthy baseline:",
+        ]
+        for dev in self.highlighter.explain(run):
+            lines.append(
+                f"    {dev.metric:<28} {dev.direction:<9} "
+                f"z_mean={dev.z_mean:+.1f} z_spread={dev.z_spread:+.1f}"
+            )
+        return "\n".join(lines)
+
+    def run(self, pool_runs: Sequence[RunRecord], n_queries: int) -> list[object]:
+        """Query ``n_queries`` runs from the pool, teaching each answer.
+
+        Returns the collected labels; rendered cards accumulate in
+        ``self.cards`` for display or logging.
+        """
+        if n_queries < 0:
+            raise ValueError("n_queries must be >= 0")
+        pool_runs = list(pool_runs)
+        features = np.vstack([self.featurize(r) for r in pool_runs]) if pool_runs else np.empty((0, 0))
+        alive = list(range(len(pool_runs)))
+        answers: list[object] = []
+        for _ in range(min(n_queries, len(pool_runs))):
+            local = self.learner.query(features[alive])
+            idx = alive.pop(local)
+            run = pool_runs[idx]
+            card = self._card(run, features[idx])
+            self.cards.append(card)
+            label = self.annotator(card, run)
+            answers.append(label)
+            self.learner.teach(features[idx], label)
+        return answers

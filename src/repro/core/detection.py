@@ -1,0 +1,131 @@
+"""Anomaly *detection* on top of the diagnosis model (paper Sec. I).
+
+The paper is explicit that ALBADross does *diagnosis* (which anomaly), not
+just *detection* (is there an anomaly). Operationally though, operators
+often want the binary question first — page someone when a node is
+anomalous, ask what exactly later. This wrapper collapses any fitted
+multi-class diagnosis model into a detector: the anomaly score of a sample
+is the total probability mass on the anomaly classes, thresholded at an
+operating point tuned for a target false-alarm budget on validation data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.metrics import HEALTHY_LABEL
+
+__all__ = ["DetectionResult", "AnomalyDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Binary verdict plus the underlying score and diagnosis suggestion."""
+
+    anomalous: bool
+    score: float  # P(any anomaly)
+    suggested_label: str  # most likely anomaly class (even if verdict=healthy)
+
+
+class AnomalyDetector:
+    """Binary anomaly detection over a fitted diagnosis classifier.
+
+    Parameters
+    ----------
+    model:
+        A fitted classifier with ``predict_proba`` and ``classes_``
+        containing the healthy label.
+    threshold:
+        Initial decision threshold on the anomaly-mass score.
+    healthy_label:
+        Which class counts as healthy (everything else is anomalous).
+    """
+
+    def __init__(
+        self,
+        model,
+        threshold: float = 0.5,
+        healthy_label: str = HEALTHY_LABEL,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if not hasattr(model, "classes_"):
+            raise ValueError("model must be fitted (no classes_)")
+        self.model = model
+        self.threshold = threshold
+        self.healthy_label = healthy_label
+        classes = list(model.classes_)
+        if healthy_label not in classes:
+            raise ValueError(
+                f"model never saw the healthy label {healthy_label!r}; "
+                "a detector over it would flag everything"
+            )
+        self._healthy_col = classes.index(healthy_label)
+        self._anomaly_cols = [i for i in range(len(classes)) if i != self._healthy_col]
+
+    # ------------------------------------------------------------------
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample anomaly score: total probability on anomaly classes."""
+        proba = self.model.predict_proba(np.asarray(X, dtype=np.float64))
+        return proba[:, self._anomaly_cols].sum(axis=1)
+
+    def detect(self, X: np.ndarray) -> list[DetectionResult]:
+        """Binary verdicts with scores and suggested diagnoses."""
+        X = np.asarray(X, dtype=np.float64)
+        proba = self.model.predict_proba(X)
+        scores = proba[:, self._anomaly_cols].sum(axis=1)
+        results = []
+        for p, s in zip(proba, scores):
+            anomaly_col = self._anomaly_cols[int(np.argmax(p[self._anomaly_cols]))]
+            results.append(
+                DetectionResult(
+                    anomalous=bool(s >= self.threshold),
+                    score=float(s),
+                    suggested_label=str(self.model.classes_[anomaly_col]),
+                )
+            )
+        return results
+
+    def tune_threshold(
+        self,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+        max_false_alarm_rate: float = 0.01,
+    ) -> float:
+        """Pick the lowest threshold meeting a false-alarm budget.
+
+        Scans the validation healthy samples' scores and sets the threshold
+        just above the (1 − budget) quantile — the most sensitive operating
+        point that keeps the false-alarm rate within budget. Returns the
+        chosen threshold (also stored on the detector).
+        """
+        if not 0.0 <= max_false_alarm_rate < 1.0:
+            raise ValueError(
+                f"max_false_alarm_rate must be in [0, 1), got {max_false_alarm_rate}"
+            )
+        y_val = np.asarray(y_val)
+        healthy_mask = y_val == self.healthy_label
+        if not healthy_mask.any():
+            raise ValueError("validation set has no healthy samples")
+        healthy_scores = self.score(np.asarray(X_val)[healthy_mask])
+        q = float(np.quantile(healthy_scores, 1.0 - max_false_alarm_rate))
+        self.threshold = min(1.0, q + 1e-9)
+        return self.threshold
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> dict[str, float]:
+        """Binary detection metrics on labeled data."""
+        y = np.asarray(y)
+        truth = y != self.healthy_label
+        pred = np.array([r.anomalous for r in self.detect(X)])
+        tp = int(np.sum(pred & truth))
+        fp = int(np.sum(pred & ~truth))
+        fn = int(np.sum(~pred & truth))
+        tn = int(np.sum(~pred & ~truth))
+        return {
+            "detection_rate": tp / (tp + fn) if tp + fn else 0.0,
+            "false_alarm_rate": fp / (fp + tn) if fp + tn else 0.0,
+            "precision": tp / (tp + fp) if tp + fp else 0.0,
+            "accuracy": (tp + tn) / len(y),
+        }

@@ -1,0 +1,56 @@
+"""Model persistence (paper Sec. III-E: "the final model is stored as a
+pickle object").
+
+Saves and restores a trained :class:`~repro.core.framework.ALBADross`
+instance — extractor drop-mask, scaler, selector, and model — so a tuned
+framework can be deployed on a monitoring pipeline without retraining.
+A small header records the package version and config for sanity checks at
+load time.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from .framework import ALBADross
+
+__all__ = ["save_framework", "load_framework", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_framework(framework: ALBADross, path: str | Path) -> Path:
+    """Pickle a trained framework to ``path`` (created/overwritten)."""
+    if framework.model is None:
+        raise ValueError("refusing to save an untrained framework")
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": framework.config,
+        "framework": framework,
+    }
+    with path.open("wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_framework(path: str | Path) -> ALBADross:
+    """Restore a framework saved by :func:`save_framework`.
+
+    Only load files you trust — pickle executes code on load.
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or "framework" not in payload:
+        raise ValueError(f"{path} is not a saved ALBADross framework")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    framework = payload["framework"]
+    if not isinstance(framework, ALBADross):
+        raise ValueError(f"{path} does not contain an ALBADross instance")
+    return framework

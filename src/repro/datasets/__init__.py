@@ -1,0 +1,35 @@
+"""repro.datasets — campaign generation and experiment splits.
+
+Volta / Eclipse campaign configurations, the run generator, and the
+Fig. 2 / app-holdout / input-holdout split builders with the in-split
+preprocessing (Min-Max + chi-square) of Sec. IV-E2.
+"""
+
+from .eclipse import eclipse_config
+from .generate import SystemConfig, build_dataset, generate_runs
+from .runs_io import load_runs, save_runs
+from .splits import (
+    PreparedSplit,
+    SplitBundle,
+    make_app_holdout_split,
+    make_input_holdout_split,
+    make_standard_split,
+    prepare,
+)
+from .volta import volta_config
+
+__all__ = [
+    "PreparedSplit",
+    "SplitBundle",
+    "SystemConfig",
+    "build_dataset",
+    "eclipse_config",
+    "generate_runs",
+    "load_runs",
+    "save_runs",
+    "make_app_holdout_split",
+    "make_input_holdout_split",
+    "make_standard_split",
+    "prepare",
+    "volta_config",
+]

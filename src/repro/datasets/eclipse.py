@@ -1,0 +1,47 @@
+"""The Eclipse dataset configuration (paper Sec. IV-A(2)).
+
+Eclipse: 1488-node production system; 6 applications (Table II — three
+real, three ECP proxies) run on 4/8/16 nodes with a distinct input per
+node count, for 20–45 minutes; 806 LDMS metrics at 1 Hz; 2–3 intensity
+settings per anomaly. The Eclipse dataset is the *harder* of the two
+(longer, real applications, varying node counts) — the paper's explanation
+for its ~10× higher query requirement and lower starting F1.
+"""
+
+from __future__ import annotations
+
+from ..anomalies.base import ECLIPSE_INTENSITIES
+from ..apps.eclipse_apps import ECLIPSE_APPS
+from ..telemetry.catalog import eclipse_catalog
+from ..telemetry.node import ECLIPSE_NODE
+from .generate import SystemConfig
+
+__all__ = ["eclipse_config"]
+
+
+def eclipse_config(
+    scale: float = 0.1,
+    n_healthy_per_app_input: int = 10,
+    n_anomalous_per_app_anomaly: int = 6,
+    duration: int | None = None,
+) -> SystemConfig:
+    """Build an Eclipse campaign configuration.
+
+    Same scaling convention as :func:`repro.datasets.volta.volta_config`;
+    full scale implies ~1950 s runs (the paper's 20–45 min midpoint) and
+    806 metrics. Eclipse runs span three node counts, and each application
+    pairs a different input deck with each node count.
+    """
+    if duration is None:
+        duration = max(160, int(1950 * scale))
+    return SystemConfig(
+        name="eclipse",
+        apps=ECLIPSE_APPS,
+        catalog=eclipse_catalog(scale=scale),
+        node=ECLIPSE_NODE,
+        intensities=ECLIPSE_INTENSITIES,
+        node_counts=(4, 8, 16),
+        duration=duration,
+        n_healthy_per_app_input=n_healthy_per_app_input,
+        n_anomalous_per_app_anomaly=n_anomalous_per_app_anomaly,
+    )

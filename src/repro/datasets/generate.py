@@ -1,0 +1,130 @@
+"""Run-campaign generation (paper Sec. IV-A/IV-C data collection).
+
+A *campaign* runs every application with every input deck many times,
+healthy and with each synthetic anomaly at each intensity setting, and
+records per-node telemetry — the raw material behind both the Volta and
+Eclipse datasets. :class:`SystemConfig` captures everything that differs
+between the two systems (applications, node hardware, metric catalog,
+intensity grid, node counts, run durations), and
+:func:`generate_runs` / :func:`build_dataset` execute the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..anomalies import get_anomaly
+from ..apps.base import AppSignature
+from ..features.pipeline import FeatureDataset, FeatureExtractor
+from ..mlcore.base import check_random_state
+from ..telemetry.catalog import MetricCatalog
+from ..telemetry.collector import Collector, RunRecord
+from ..telemetry.node import NodeProfile
+
+__all__ = ["SystemConfig", "generate_runs", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to run a data-collection campaign on one system.
+
+    ``n_healthy_per_app_input`` healthy runs are collected for every
+    (application, input deck) pair; ``n_anomalous_per_app_anomaly``
+    anomalous runs for every (application, anomaly) pair, cycling through
+    input decks, node counts, and the intensity grid so the anomalous
+    corpus covers the full condition matrix.
+    """
+
+    name: str
+    apps: Mapping[str, AppSignature]
+    catalog: MetricCatalog
+    node: NodeProfile
+    anomaly_names: tuple[str, ...] = (
+        "cpuoccupy",
+        "cachecopy",
+        "membw",
+        "memleak",
+        "dial",
+    )
+    intensities: tuple[float, ...] = (0.1, 0.5, 1.0)
+    node_counts: tuple[int, ...] = (4,)
+    duration: int = 120
+    n_healthy_per_app_input: int = 10
+    n_anomalous_per_app_anomaly: int = 6
+    missing_rate: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("campaign needs at least one application")
+        if self.duration < 32:
+            raise ValueError(f"duration too short for feature extraction: {self.duration}")
+        if self.n_healthy_per_app_input < 1 or self.n_anomalous_per_app_anomaly < 1:
+            raise ValueError("need at least one run per condition")
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """The diagnosis label set: healthy plus every anomaly."""
+        return ("healthy", *self.anomaly_names)
+
+
+def generate_runs(
+    config: SystemConfig,
+    rng: int | np.random.Generator | None = None,
+) -> list[RunRecord]:
+    """Execute the full campaign and return every collected run."""
+    rng = check_random_state(rng)
+    collector = Collector(config.catalog, config.node, config.missing_rate)
+    runs: list[RunRecord] = []
+    for app_name, app in sorted(config.apps.items()):
+        n_inputs = min(app.n_inputs, 3)
+        for deck in range(n_inputs):
+            for _ in range(config.n_healthy_per_app_input):
+                node_count = config.node_counts[
+                    int(rng.integers(len(config.node_counts)))
+                ]
+                runs.append(
+                    collector.collect(
+                        app,
+                        input_deck=deck,
+                        duration=config.duration,
+                        node_count=node_count,
+                        rng=rng,
+                    )
+                )
+        for anomaly_name in config.anomaly_names:
+            anomaly = get_anomaly(anomaly_name)
+            for i in range(config.n_anomalous_per_app_anomaly):
+                deck = i % n_inputs
+                intensity = config.intensities[i % len(config.intensities)]
+                node_count = config.node_counts[i % len(config.node_counts)]
+                runs.append(
+                    collector.collect(
+                        app,
+                        input_deck=deck,
+                        duration=config.duration,
+                        anomaly=anomaly,
+                        intensity=intensity,
+                        node_count=node_count,
+                        rng=rng,
+                    )
+                )
+    return runs
+
+
+def build_dataset(
+    config: SystemConfig,
+    method: str = "mvts",
+    rng: int | np.random.Generator | None = None,
+    map_fn: Callable[..., Iterable[np.ndarray]] | None = None,
+) -> tuple[FeatureDataset, FeatureExtractor]:
+    """Run the campaign and featurize it in one call.
+
+    Returns the featurized corpus plus the fitted extractor (whose drop
+    mask must be reused on any later runs from the same system).
+    """
+    runs = generate_runs(config, rng)
+    extractor = FeatureExtractor(config.catalog, method=method, map_fn=map_fn)
+    return extractor.fit_transform(runs), extractor

@@ -1,0 +1,70 @@
+"""Raw run-record persistence (.npz archives).
+
+The CLI's campaign/train/diagnose stages exchange *raw* telemetry runs,
+not featurized matrices — feature extraction belongs to the trained
+framework (its drop-mask and scaler are fit state). This module packs a
+list of :class:`~repro.telemetry.collector.RunRecord` into one compressed
+archive: a stacked data tensor (runs must share duration and catalog) plus
+parallel metadata arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..telemetry.collector import RunRecord
+
+__all__ = ["save_runs", "load_runs"]
+
+
+def save_runs(runs: Sequence[RunRecord], path: str | Path) -> Path:
+    """Write runs to a compressed ``.npz``; all runs must be homogeneous."""
+    if not runs:
+        raise ValueError("no runs to save")
+    durations = {r.data.shape[0] for r in runs}
+    widths = {r.data.shape[1] for r in runs}
+    if len(durations) != 1 or len(widths) != 1:
+        raise ValueError(
+            f"runs are heterogeneous: durations {sorted(durations)}, "
+            f"metric counts {sorted(widths)}"
+        )
+    names = runs[0].metric_names
+    for r in runs:
+        if r.metric_names != names:
+            raise ValueError("runs disagree on metric names")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        data=np.stack([r.data for r in runs]),
+        app=np.array([r.app for r in runs]),
+        input_deck=np.array([r.input_deck for r in runs]),
+        node_count=np.array([r.node_count for r in runs]),
+        node_id=np.array([r.node_id for r in runs]),
+        anomaly=np.array([r.anomaly or "" for r in runs]),
+        intensity=np.array([r.intensity for r in runs]),
+        metric_names=np.array(names, dtype=object),
+    )
+    return path
+
+
+def load_runs(path: str | Path) -> list[RunRecord]:
+    """Restore runs written by :func:`save_runs`."""
+    with np.load(Path(path), allow_pickle=True) as z:
+        names = list(z["metric_names"])
+        return [
+            RunRecord(
+                app=str(z["app"][i]),
+                input_deck=int(z["input_deck"][i]),
+                node_count=int(z["node_count"][i]),
+                node_id=int(z["node_id"][i]),
+                anomaly=str(z["anomaly"][i]) or None,
+                intensity=float(z["intensity"][i]),
+                data=z["data"][i],
+                metric_names=names,
+            )
+            for i in range(len(z["app"]))
+        ]

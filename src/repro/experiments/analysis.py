@@ -1,0 +1,154 @@
+"""Per-class drill-down analysis (the paper's Sec. V narrative numbers).
+
+Beyond the headline curves, the paper's analysis leans on per-class
+behaviour: `dial` has the lowest per-class F1 on Volta (hence is queried
+most), Proctor is strong everywhere *except* cpuoccupy, the margin
+strategy chases membw/cpuoccupy on Eclipse. This module computes those
+drill-downs from fitted models / AL results so benches and examples can
+assert and report them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.metrics import HEALTHY_LABEL, confusion_matrix, precision_recall_f1
+
+__all__ = [
+    "PerClassReport",
+    "per_class_report",
+    "hardest_anomaly",
+    "query_efficiency",
+    "confusion_pairs",
+    "subsystem_signal",
+    "feature_family_signal",
+]
+
+
+@dataclass(frozen=True)
+class PerClassReport:
+    """Per-class scores of one model on one test set."""
+
+    labels: tuple[str, ...]
+    precision: tuple[float, ...]
+    recall: tuple[float, ...]
+    f1: tuple[float, ...]
+    support: tuple[int, ...]
+
+    def f1_of(self, label: str) -> float:
+        """F1 of one class; raises KeyError for unknown labels."""
+        try:
+            return self.f1[self.labels.index(label)]
+        except ValueError:
+            raise KeyError(f"class {label!r} not in report") from None
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """(label, f1) pairs sorted worst-first."""
+        return sorted(zip(self.labels, self.f1), key=lambda t: t[1])
+
+
+def per_class_report(y_true: np.ndarray, y_pred: np.ndarray) -> PerClassReport:
+    """Compute per-class precision/recall/F1/support."""
+    precision, recall, f1, labels = precision_recall_f1(y_true, y_pred)
+    y_true = np.asarray(y_true)
+    support = tuple(int(np.sum(y_true == label)) for label in labels)
+    return PerClassReport(
+        labels=tuple(str(label) for label in labels),
+        precision=tuple(float(v) for v in precision),
+        recall=tuple(float(v) for v in recall),
+        f1=tuple(float(v) for v in f1),
+        support=support,
+    )
+
+
+def hardest_anomaly(
+    y_true: np.ndarray, y_pred: np.ndarray, healthy_label: str = HEALTHY_LABEL
+) -> str:
+    """The anomaly class with the lowest F1 (the paper's `dial` finding)."""
+    report = per_class_report(y_true, y_pred)
+    anomalies = [
+        (label, f1)
+        for label, f1 in zip(report.labels, report.f1)
+        if label != healthy_label
+    ]
+    if not anomalies:
+        raise ValueError("no anomaly classes present")
+    return min(anomalies, key=lambda t: t[1])[0]
+
+
+def confusion_pairs(
+    y_true: np.ndarray, y_pred: np.ndarray, top_k: int = 5
+) -> list[tuple[str, str, int]]:
+    """The most frequent (true → predicted) error pairs, descending."""
+    cm, labels = confusion_matrix(y_true, y_pred)
+    pairs = [
+        (str(labels[i]), str(labels[j]), int(cm[i, j]))
+        for i in range(len(labels))
+        for j in range(len(labels))
+        if i != j and cm[i, j] > 0
+    ]
+    pairs.sort(key=lambda t: -t[2])
+    return pairs[:top_k]
+
+
+def query_efficiency(result, targets=(0.7, 0.8, 0.9)) -> dict[float, int | None]:
+    """Additional samples the run needed per F1 target (None = unreached)."""
+    from ..active.loop import queries_to_reach
+
+    return {t: queries_to_reach(result, t) for t in targets}
+
+
+def _split_feature_name(name: str) -> tuple[str, str]:
+    """A pipeline feature name is ``<metric>::<statistic>``."""
+    metric, _, statistic = name.partition("::")
+    if not statistic:
+        raise ValueError(f"not a pipeline feature name: {name!r}")
+    return metric, statistic
+
+
+def subsystem_signal(selected_names: list[str]) -> dict[str, int]:
+    """Count chi-square-selected features per telemetry subsystem.
+
+    Answers the operator question "where does the diagnostic signal live?"
+    — e.g. memleak separates in meminfo, cachecopy in the Cray write-back
+    counters. Subsystem = the metric-name prefix before the first dot
+    (``meminfo``, ``vmstat``, ``procstat``, ``procnetdev``, ``lustre``,
+    ``cray``).
+    """
+    counts = Counter()
+    for name in selected_names:
+        metric, _ = _split_feature_name(name)
+        counts[metric.split(".", 1)[0]] += 1
+    return dict(counts)
+
+
+def feature_family_signal(selected_names: list[str], top_k: int = 12) -> list[tuple[str, int]]:
+    """The statistical feature types chi-square favors, most common first.
+
+    Tells you whether level features (mean/quantiles), temporal features
+    (strikes, autocorrelation), or spectral features carry the signal —
+    the MVTS-vs-TSFRESH question at feature granularity.
+    """
+    counts = Counter()
+    for name in selected_names:
+        _, statistic = _split_feature_name(name)
+        counts[statistic] += 1
+    return counts.most_common(top_k)
+
+
+def queried_class_alignment(result, y_test, y_pred) -> dict[str, float]:
+    """How well the query mix tracks the per-class difficulty.
+
+    Returns each anomaly class's share of queries. The paper's
+    observation: the strategies concentrate queries on the classes with
+    the lowest F1 (dial on Volta; membw/cpuoccupy on Eclipse), so the
+    worst class should receive an outsized share.
+    """
+    counts = Counter(str(v) for v in result.queried_labels)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {label: counts[label] / total for label in counts}

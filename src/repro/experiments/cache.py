@@ -1,0 +1,83 @@
+"""On-disk caching of featurized campaign datasets.
+
+Campaign generation plus feature extraction is the expensive, perfectly
+deterministic prefix of every experiment (tens of seconds for MVTS, minutes
+for TSFRESH). Benchmarks for different figures share the same corpora, so
+the first bench pays the cost and the rest load an ``.npz`` snapshot.
+
+The cache key is the caller-supplied name; entries also record the corpus
+fingerprint (shape + seed) and are validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..features.pipeline import FeatureDataset
+
+__all__ = ["save_dataset", "load_dataset", "get_or_build"]
+
+_META_KEYS = ("labels", "apps", "input_decks", "intensities", "node_counts")
+
+
+def save_dataset(ds: FeatureDataset, path: str | Path) -> Path:
+    """Write a featurized dataset (matrix + metadata + names) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        X=ds.X,
+        labels=ds.labels,
+        apps=ds.apps,
+        input_decks=ds.input_decks,
+        intensities=ds.intensities,
+        node_counts=ds.node_counts,
+        feature_names=np.array(ds.feature_names, dtype=object),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> FeatureDataset:
+    """Restore a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        return FeatureDataset(
+            X=data["X"],
+            labels=data["labels"],
+            apps=data["apps"],
+            input_decks=data["input_decks"],
+            intensities=data["intensities"],
+            node_counts=data["node_counts"],
+            feature_names=list(data["feature_names"]),
+        )
+
+
+def get_or_build(
+    name: str,
+    builder: Callable[[], FeatureDataset],
+    cache_dir: str | Path,
+) -> FeatureDataset:
+    """Load ``<cache_dir>/<name>.npz`` if present, else build and store it.
+
+    ``builder`` must be deterministic (seeded) — the cache assumes the same
+    name always denotes the same corpus.
+    """
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"{name}.npz"
+    if path.exists():
+        try:
+            return load_dataset(path)
+        except Exception:
+            path.unlink()  # corrupt entry: rebuild
+    ds = builder()
+    save_dataset(ds, path)
+    manifest = cache_dir / "manifest.json"
+    entries = {}
+    if manifest.exists():
+        entries = json.loads(manifest.read_text())
+    entries[name] = {"rows": int(len(ds)), "features": int(ds.X.shape[1])}
+    manifest.write_text(json.dumps(entries, indent=2, sort_keys=True))
+    return ds

@@ -1,0 +1,118 @@
+"""Plain-text rendering of experiment results (the paper's tables & curves).
+
+Benchmarks regenerate the paper's figures as text: learning-curve tables
+sampled at fixed query counts, unicode sparklines for the curve shapes, and
+Table V-style summary rows. Everything returns strings so benches can both
+print them and write them to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .runner import CurveStats, ExperimentResult
+
+__all__ = [
+    "sparkline",
+    "curve_table",
+    "table5_row",
+    "format_table",
+    "distribution_table",
+]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """A one-line unicode rendering of a curve, clipped to [lo, hi]."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    arr = np.clip((np.asarray(values, dtype=float) - lo) / (hi - lo), 0, 1)
+    return "".join(_SPARK[int(round(v * (len(_SPARK) - 1)))] for v in arr)
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def curve_table(
+    stats_by_method: Mapping[str, CurveStats],
+    checkpoints: Sequence[int] = (0, 10, 25, 50, 100, 150, 250),
+    metric: str = "f1",
+) -> str:
+    """Per-method metric values at fixed additional-query checkpoints.
+
+    ``metric`` ∈ {"f1", "far", "amr"}. Missing checkpoints (beyond a run's
+    budget) render as "-". A sparkline column shows the full curve shape.
+    """
+    attr = {"f1": "f1_mean", "far": "far_mean", "amr": "amr_mean"}[metric]
+    rows = []
+    for name, stats in stats_by_method.items():
+        curve = getattr(stats, attr)
+        base = stats.n_labeled[0]
+        cells: list[str] = [name]
+        for q in checkpoints:
+            target = base + q
+            if target > stats.n_labeled[-1]:
+                cells.append("-")
+            else:
+                i = int(np.argmin(np.abs(stats.n_labeled - target)))
+                cells.append(f"{curve[i]:.3f}")
+        cells.append(sparkline(curve))
+        rows.append(cells)
+    header = ["method"] + [f"+{q}" for q in checkpoints] + ["curve"]
+    return format_table(header, rows)
+
+
+def table5_row(
+    dataset: str,
+    feature_method: str,
+    strategy: str,
+    result: ExperimentResult,
+    full_train_f1: float,
+    full_train_n: int,
+    cv_f1: float,
+    cv_n: int,
+    targets: Sequence[float] = (0.85, 0.90, 0.95),
+) -> list[str]:
+    """One Table V row: queries needed per F1 target plus reference scores."""
+    stats = result.stats(strategy)
+    start = float(stats.f1_mean[0])
+    cells = [dataset, feature_method, strategy, str(int(stats.n_labeled[0])), f"{start:.2f}"]
+    for target in targets:
+        if start >= target:
+            cells.append("Already Passed")
+            continue
+        needed = result.queries_to_reach(strategy, target)
+        cells.append(f"{needed} samples" if needed is not None else "not reached")
+    cells.append(f"{full_train_f1:.2f} ({full_train_n} samples)")
+    cells.append(f"{cv_f1:.2f} ({cv_n} samples)")
+    return cells
+
+
+def distribution_table(
+    labels: Sequence[object], apps: Sequence[object], first_n: int = 50
+) -> str:
+    """Fig. 4-style drill-down: queried labels and applications, first N."""
+    label_counts = Counter(str(v) for v in labels[:first_n])
+    app_counts = Counter(str(v) for v in apps[:first_n])
+    out = ["queried labels (first %d):" % min(first_n, len(labels))]
+    for name, count in label_counts.most_common():
+        out.append(f"  {name:<12} {'#' * count} {count}")
+    out.append("queried applications:")
+    for name, count in app_counts.most_common():
+        out.append(f"  {name:<12} {'#' * count} {count}")
+    return "\n".join(out)

@@ -1,0 +1,220 @@
+"""Run → feature-vector pipeline (paper Sec. IV-E1).
+
+Reproduces the paper's data preparation exactly, in order:
+
+1. **Trim** the initialization and termination intervals (their metrics
+   "fluctuate significantly from their expected values").
+2. **Difference** cumulative performance counters — "we are interested in
+   the change, not the raw value".
+3. **Linearly interpolate** missing values (LDMS loses samples in flight).
+4. **Extract** statistical features per metric (MVTS or TSFRESH-lite).
+5. **Drop** features that are NaN or identically zero across the dataset.
+
+Step 5 is a *fit* operation (the survivor mask is learned on the training
+corpus and reapplied to new runs), mirroring how the paper reports post-drop
+feature counts per dataset (6436 MVTS / 80839 TSFRESH on Eclipse, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..telemetry.catalog import MetricCatalog
+from ..telemetry.collector import RunRecord
+from .mvts import MVTS_FEATURE_NAMES, extract_mvts
+from .tsfresh_lite import TSFRESH_FEATURE_NAMES, extract_tsfresh
+
+__all__ = [
+    "interpolate_missing",
+    "preprocess_run",
+    "FeatureDataset",
+    "FeatureExtractor",
+]
+
+_EXTRACTORS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], tuple[str, ...]]] = {
+    "mvts": (extract_mvts, MVTS_FEATURE_NAMES),
+    "tsfresh": (extract_tsfresh, TSFRESH_FEATURE_NAMES),
+}
+
+
+def interpolate_missing(data: np.ndarray) -> np.ndarray:
+    """Linearly interpolate NaNs per column; edge NaNs take the nearest value.
+
+    Columns that are entirely NaN become zero (they will be dropped by the
+    zero-feature filter downstream).
+    """
+    data = np.asarray(data, dtype=np.float64).copy()
+    T = data.shape[0]
+    t = np.arange(T)
+    for j in range(data.shape[1]):
+        col = data[:, j]
+        bad = np.isnan(col)
+        if not bad.any():
+            continue
+        good = ~bad
+        if not good.any():
+            data[:, j] = 0.0
+            continue
+        data[bad, j] = np.interp(t[bad], t[good], col[good])
+    return data
+
+
+def preprocess_run(
+    data: np.ndarray,
+    counter_mask: np.ndarray,
+    trim_frac: tuple[float, float] = (0.08, 0.06),
+) -> np.ndarray:
+    """Apply steps 1–3 to one raw (T, M) run matrix.
+
+    ``counter_mask`` flags cumulative counters: those columns are first
+    differenced (rates), shrinking the matrix by one row; gauge columns
+    simply drop their first row to stay aligned. Trimming removes
+    ``trim_frac`` = (head, tail) fractions of the run.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected (T, M), got {data.shape}")
+    counter_mask = np.asarray(counter_mask, dtype=bool)
+    if counter_mask.shape != (data.shape[1],):
+        raise ValueError("counter_mask / data column mismatch")
+    head, tail = trim_frac
+    if head < 0 or tail < 0 or head + tail >= 0.9:
+        raise ValueError(f"unreasonable trim fractions: {trim_frac}")
+
+    T = data.shape[0]
+    lo = int(np.floor(head * T))
+    hi = T - int(np.floor(tail * T))
+    if hi - lo < 8:
+        raise ValueError(f"run too short after trimming: {hi - lo} samples")
+    data = data[lo:hi]
+    data = interpolate_missing(data)
+    out = data[1:].copy()
+    if counter_mask.any():
+        out[:, counter_mask] = np.diff(data[:, counter_mask], axis=0)
+    return out
+
+
+@dataclass
+class FeatureDataset:
+    """A featurized run corpus: matrix + aligned metadata.
+
+    Rows of ``X`` correspond one-to-one with entries of the metadata
+    arrays; ``feature_names`` matches the columns.
+    """
+
+    X: np.ndarray
+    labels: np.ndarray
+    apps: np.ndarray
+    input_decks: np.ndarray
+    intensities: np.ndarray
+    node_counts: np.ndarray
+    feature_names: list[str] = field(repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = self.X.shape[0]
+        for name in ("labels", "apps", "input_decks", "intensities", "node_counts"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length does not match X rows")
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    def subset(self, mask: np.ndarray) -> "FeatureDataset":
+        """Row-filtered view (boolean mask or index array)."""
+        return FeatureDataset(
+            X=self.X[mask],
+            labels=self.labels[mask],
+            apps=self.apps[mask],
+            input_decks=self.input_decks[mask],
+            intensities=self.intensities[mask],
+            node_counts=self.node_counts[mask],
+            feature_names=self.feature_names,
+        )
+
+
+class FeatureExtractor:
+    """End-to-end extraction over a run corpus, with the NaN/zero drop.
+
+    Parameters
+    ----------
+    catalog:
+        The metric catalog the runs were collected with (provides the
+        counter mask and metric names).
+    method:
+        ``"mvts"`` (48 features/metric) or ``"tsfresh"`` (84/metric).
+    trim_frac:
+        Head/tail trim fractions passed to :func:`preprocess_run`.
+    map_fn:
+        Optional parallel map (e.g. :meth:`repro.parallel.Executor.map`)
+        used to spread per-run extraction over processes.
+    """
+
+    def __init__(
+        self,
+        catalog: MetricCatalog,
+        method: str = "mvts",
+        trim_frac: tuple[float, float] = (0.08, 0.06),
+        map_fn: Callable[..., Iterable[np.ndarray]] | None = None,
+    ):
+        if method not in _EXTRACTORS:
+            raise ValueError(
+                f"unknown method {method!r}; available: {sorted(_EXTRACTORS)}"
+            )
+        self.catalog = catalog
+        self.method = method
+        self.trim_frac = trim_frac
+        self.map_fn = map_fn
+        self._extract, per_metric_names = _EXTRACTORS[method]
+        self._all_names = [
+            f"{m}::{f}" for m in catalog.names for f in per_metric_names
+        ]
+        self.keep_mask_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _featurize_one(self, run: RunRecord) -> np.ndarray:
+        clean = preprocess_run(run.data, self.catalog.counter_mask, self.trim_frac)
+        return self._extract(clean)
+
+    def _featurize_all(self, runs: Sequence[RunRecord]) -> np.ndarray:
+        mapper = self.map_fn if self.map_fn is not None else map
+        return np.vstack(list(mapper(self._featurize_one, runs)))
+
+    def fit_transform(self, runs: Sequence[RunRecord]) -> FeatureDataset:
+        """Featurize a corpus and learn the NaN/zero drop mask from it."""
+        if len(runs) == 0:
+            raise ValueError("empty run corpus")
+        raw = self._featurize_all(runs)
+        nan_cols = np.isnan(raw).any(axis=0)
+        zero_cols = np.all(raw == 0.0, axis=0)
+        self.keep_mask_ = ~(nan_cols | zero_cols)
+        return self._package(runs, raw[:, self.keep_mask_])
+
+    def transform(self, runs: Sequence[RunRecord]) -> FeatureDataset:
+        """Featurize new runs with the already-learned drop mask."""
+        if self.keep_mask_ is None:
+            raise RuntimeError("call fit_transform on a training corpus first")
+        raw = self._featurize_all(runs)
+        kept = raw[:, self.keep_mask_]
+        # test-time NaNs (e.g. all-missing metric) are zero-filled: the
+        # model must not crash on a degraded run
+        return self._package(runs, np.nan_to_num(kept))
+
+    def _package(self, runs: Sequence[RunRecord], X: np.ndarray) -> FeatureDataset:
+        names = [n for n, keep in zip(self._all_names, self.keep_mask_) if keep]
+        return FeatureDataset(
+            X=X,
+            labels=np.array([r.label for r in runs]),
+            apps=np.array([r.app for r in runs]),
+            input_decks=np.array([r.input_deck for r in runs]),
+            intensities=np.array([r.intensity for r in runs]),
+            node_counts=np.array([r.node_count for r in runs]),
+            feature_names=names,
+        )
+
+    @property
+    def n_features_raw(self) -> int:
+        """Feature count before the NaN/zero drop."""
+        return len(self._all_names)

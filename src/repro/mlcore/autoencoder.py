@@ -1,0 +1,142 @@
+"""Deep autoencoder — substrate for the Proctor baseline.
+
+Proctor (Aksar et al., ISC 2021; the paper's strongest semi-supervised
+baseline) trains a deep autoencoder on the *unlabeled* pool to learn a
+compressed representation of node telemetry, then fits a logistic-regression
+head on the code-layer embedding of the few labeled samples. The paper's
+instantiation: 2000-unit code layer, ``adadelta`` optimizer, MSE loss,
+100 epochs — all reproduced here with the code width scaled to our dataset
+sizes (see DESIGN.md §2 scale note).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array, check_random_state
+
+__all__ = ["Autoencoder"]
+
+
+class Autoencoder(BaseEstimator):
+    """Symmetric fully-connected autoencoder trained with Adadelta + MSE.
+
+    Parameters
+    ----------
+    code_size:
+        Width of the bottleneck (code) layer whose activations serve as the
+        learned representation (``transform``).
+    hidden_layer_sizes:
+        Encoder hidden widths between input and code; the decoder mirrors
+        them. Empty tuple gives input → code → input.
+    max_iter:
+        Training epochs (paper: 100).
+    rho / eps:
+        Adadelta decay rate and stabilizer (Zeiler 2012 defaults).
+    """
+
+    def __init__(
+        self,
+        code_size: int = 32,
+        hidden_layer_sizes: tuple[int, ...] = (),
+        max_iter: int = 100,
+        batch_size: int = 32,
+        rho: float = 0.95,
+        eps: float = 1e-6,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.code_size = code_size
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.rho = rho
+        self.eps = eps
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Activations per layer; ReLU everywhere except a linear output."""
+        acts = [X]
+        last = len(self.weights_) - 1
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = acts[-1] @ W + b
+            acts.append(z if i == last else np.maximum(z, 0.0))
+        return acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "Autoencoder":
+        """Train to reconstruct ``X``; ``y`` is accepted and ignored."""
+        if self.code_size < 1:
+            raise ValueError(f"code_size must be >= 1, got {self.code_size}")
+        X = check_array(X)
+        rng = check_random_state(self.random_state)
+        n, m = X.shape
+        self.n_features_in_ = m
+        hidden = tuple(int(h) for h in self.hidden_layer_sizes)
+        sizes = [m, *hidden, self.code_size, *reversed(hidden), m]
+        self._code_layer = len(hidden) + 1  # activation index of the code
+
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+        # Adadelta accumulators: squared gradients and squared updates
+        eg_W = [np.zeros_like(W) for W in self.weights_]
+        ed_W = [np.zeros_like(W) for W in self.weights_]
+        eg_b = [np.zeros_like(b) for b in self.biases_]
+        ed_b = [np.zeros_like(b) for b in self.biases_]
+        rho, eps = self.rho, self.eps
+        batch = min(self.batch_size, n)
+
+        self.loss_curve_: list[float] = []
+        for _epoch in range(self.max_iter):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                acts = self._forward(X[rows])
+                recon = acts[-1]
+                err = recon - X[rows]
+                epoch_loss += float(np.sum(err * err))
+                delta = 2.0 * err / (len(rows) * m)  # d(MSE)/d(recon)
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    gW = acts[layer].T @ delta
+                    gb = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (acts[layer] > 0)
+                    for g, E_g, E_d, param in (
+                        (gW, eg_W, ed_W, self.weights_),
+                        (gb, eg_b, ed_b, self.biases_),
+                    ):
+                        E_g[layer] = rho * E_g[layer] + (1 - rho) * g * g
+                        update = (
+                            -np.sqrt(E_d[layer] + eps)
+                            / np.sqrt(E_g[layer] + eps)
+                            * g
+                        )
+                        E_d[layer] = rho * E_d[layer] + (1 - rho) * update * update
+                        param[layer] += update
+            self.loss_curve_.append(epoch_loss / (n * m))
+        self.n_iter_ = len(self.loss_curve_)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Code-layer embedding of ``X`` (Proctor's learned representation)."""
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return self._forward(X)[self._code_layer]
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Full encode-decode pass."""
+        X = check_array(X)
+        return self._forward(X)[-1]
+
+    def reconstruction_error(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample MSE — the classic AE anomaly-detection score."""
+        err = self.reconstruct(X) - X
+        return np.mean(err * err, axis=1)

@@ -1,0 +1,142 @@
+"""Estimator protocol and shared validation utilities.
+
+This module plays the role scikit-learn's ``sklearn.base`` plays for the
+paper's implementation: a tiny, uniform estimator contract so that model
+selection (grid search, cross-validation) and the active-learning loop can
+treat every classifier interchangeably.
+
+Conventions (mirroring scikit-learn so the paper's Table IV hyperparameter
+grids translate directly):
+
+* constructor arguments are hyperparameters, stored verbatim on ``self``;
+* ``fit(X, y)`` learns state into attributes with a trailing underscore and
+  returns ``self``;
+* ``predict(X)`` returns integer class labels, ``predict_proba(X)`` returns
+  an ``(n_samples, n_classes)`` row-stochastic matrix over ``classes_``;
+* :func:`clone` builds an unfitted copy from hyperparameters only.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "clone",
+    "check_X_y",
+    "check_array",
+    "check_random_state",
+    "encode_labels",
+]
+
+
+class BaseEstimator:
+    """Minimal estimator base with parameter introspection.
+
+    Subclasses must store every constructor argument on ``self`` under the
+    same name; ``get_params``/``set_params`` then work for free, and
+    :func:`clone` can rebuild unfitted copies — which is what grid search
+    and repeated train/test splits rely on.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return hyperparameters as a dict (unfitted state only)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyperparameters in place; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Shared behaviour for classifiers: accuracy scoring and label decoding."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Default predict: argmax of ``predict_proba`` mapped to ``classes_``."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy constructed from the estimator's parameters.
+
+    Parameter values are deep-copied so mutable defaults (lists of hidden
+    layer sizes, etc.) are not shared between the clone and the original.
+    """
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+def check_array(X: Any, *, dtype: type = np.float64, name: str = "X") -> np.ndarray:
+    """Validate a 2-D numeric array: finite values, at least one sample."""
+    X = np.asarray(X, dtype=dtype)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} has no samples")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / label vector pair with matching lengths."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if len(y) != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} samples but y has {len(y)}")
+    return X, y
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed / Generator / None into a ``numpy.random.Generator``.
+
+    Explicit generators are threaded through every stochastic component so
+    that experiments are reproducible end to end (see DESIGN.md §6).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def encode_labels(y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary labels to contiguous integer codes.
+
+    Returns ``(classes, codes)`` where ``classes`` is sorted-unique and
+    ``codes[i]`` indexes ``classes``. All classifiers train on codes and
+    decode back through ``classes_`` at prediction time.
+    """
+    classes, codes = np.unique(np.asarray(y), return_inverse=True)
+    return classes, codes.astype(np.int64)

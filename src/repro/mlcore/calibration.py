@@ -1,0 +1,142 @@
+"""Probability calibration diagnostics and temperature scaling.
+
+The active-learning strategies consume raw class probabilities (Eqs. 1–4),
+so *how calibrated* a model's probabilities are directly shapes which
+samples get queried: an overconfident model under-reports uncertainty and
+starves the query strategy of signal. This module provides:
+
+* :func:`reliability_curve` — binned confidence vs accuracy;
+* :func:`expected_calibration_error` — the standard ECE summary;
+* :class:`TemperatureScaler` — post-hoc single-parameter calibration
+  (Guo et al. 2017) fit on held-out data, wrapping any probabilistic
+  classifier without retraining it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from .base import BaseEstimator, check_array
+
+__all__ = [
+    "reliability_curve",
+    "expected_calibration_error",
+    "TemperatureScaler",
+]
+
+
+def _validate_proba(proba: np.ndarray) -> np.ndarray:
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got {proba.shape}")
+    if not np.allclose(proba.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("probability rows must sum to 1")
+    return proba
+
+
+def reliability_curve(
+    proba: np.ndarray,
+    y_true: np.ndarray,
+    classes: np.ndarray,
+    n_bins: int = 10,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Confidence-binned accuracy (the reliability diagram's data).
+
+    Returns ``(bin_confidence, bin_accuracy, bin_count)`` over equal-width
+    confidence bins; empty bins carry NaN confidence/accuracy and count 0.
+    """
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    proba = _validate_proba(proba)
+    y_true = np.asarray(y_true)
+    classes = np.asarray(classes)
+    if len(y_true) != len(proba):
+        raise ValueError("proba / y_true length mismatch")
+    confidence = proba.max(axis=1)
+    predicted = classes[np.argmax(proba, axis=1)]
+    correct = (predicted == y_true).astype(float)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # right-inclusive last bin so confidence 1.0 lands in bin n-1
+    bins = np.clip(np.digitize(confidence, edges[1:-1]), 0, n_bins - 1)
+    conf_out = np.full(n_bins, np.nan)
+    acc_out = np.full(n_bins, np.nan)
+    count_out = np.zeros(n_bins, dtype=np.int64)
+    for b in range(n_bins):
+        mask = bins == b
+        count_out[b] = int(mask.sum())
+        if count_out[b]:
+            conf_out[b] = confidence[mask].mean()
+            acc_out[b] = correct[mask].mean()
+    return conf_out, acc_out, count_out
+
+
+def expected_calibration_error(
+    proba: np.ndarray,
+    y_true: np.ndarray,
+    classes: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """ECE: count-weighted mean |confidence − accuracy| over bins."""
+    conf, acc, count = reliability_curve(proba, y_true, classes, n_bins)
+    total = count.sum()
+    if total == 0:
+        return 0.0
+    filled = count > 0
+    return float(np.sum(count[filled] * np.abs(conf[filled] - acc[filled])) / total)
+
+
+class TemperatureScaler(BaseEstimator):
+    """Post-hoc temperature scaling over a fitted probabilistic classifier.
+
+    Sharpens (T < 1) or softens (T > 1) the base model's probabilities:
+    ``p_T ∝ p^(1/T)``. The temperature minimizing validation NLL is found
+    by bounded scalar optimization; the wrapped object exposes the usual
+    ``predict`` / ``predict_proba`` so it drops into the AL loop.
+    """
+
+    def __init__(self, model=None, max_temperature: float = 10.0):
+        self.model = model
+        self.max_temperature = max_temperature
+
+    def fit(self, X_val: np.ndarray, y_val: np.ndarray) -> "TemperatureScaler":
+        """Fit T on held-out data (the base model stays frozen)."""
+        if self.model is None or not hasattr(self.model, "classes_"):
+            raise ValueError("TemperatureScaler needs a fitted base model")
+        X_val = check_array(X_val)
+        y_val = np.asarray(y_val)
+        proba = np.clip(self.model.predict_proba(X_val), 1e-12, 1.0)
+        classes = list(self.model.classes_)
+        try:
+            codes = np.array([classes.index(y) for y in y_val])
+        except ValueError:
+            raise ValueError("y_val contains classes the base model never saw")
+        log_p = np.log(proba)
+
+        def nll(T: float) -> float:
+            scaled = log_p / T
+            scaled -= scaled.max(axis=1, keepdims=True)
+            p = np.exp(scaled)
+            p /= p.sum(axis=1, keepdims=True)
+            return float(-np.mean(np.log(p[np.arange(len(codes)), codes] + 1e-12)))
+
+        res = minimize_scalar(
+            nll, bounds=(0.05, self.max_temperature), method="bounded"
+        )
+        self.temperature_ = float(res.x)
+        self.classes_ = self.model.classes_
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Temperature-scaled probabilities of the base model."""
+        if not hasattr(self, "temperature_"):
+            raise RuntimeError("fit() the scaler on validation data first")
+        proba = np.clip(self.model.predict_proba(X), 1e-12, 1.0)
+        scaled = np.log(proba) / self.temperature_
+        scaled -= scaled.max(axis=1, keepdims=True)
+        p = np.exp(scaled)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Argmax labels (temperature never changes the argmax)."""
+        return self.model.predict(X)

@@ -1,0 +1,75 @@
+"""Trivial baseline classifiers (sanity floors for every experiment).
+
+Any claimed result should clear these: ``MajorityClassifier`` predicts the
+most frequent training class (on a 90%-healthy pool that already looks
+"accurate" while diagnosing nothing — which is precisely why the paper
+reports macro F1 and the two operational rates instead of accuracy);
+``StratifiedRandomClassifier`` samples predictions from the training
+class distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_array,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["MajorityClassifier", "StratifiedRandomClassifier"]
+
+
+class MajorityClassifier(BaseEstimator, ClassifierMixin):
+    """Always predicts the most frequent training class."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityClassifier":
+        """Record class frequencies; ties break toward the smaller label."""
+        X, y = check_X_y(X, y)
+        self.classes_, counts = np.unique(y, return_counts=True)
+        self._proba = counts / counts.sum()
+        self._winner = int(np.argmax(counts))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Every row is the training class distribution."""
+        X = check_array(X)
+        return np.tile(self._proba, (X.shape[0], 1))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """The majority class, for every sample."""
+        X = check_array(X)
+        return np.full(X.shape[0], self.classes_[self._winner])
+
+
+class StratifiedRandomClassifier(BaseEstimator, ClassifierMixin):
+    """Predicts labels drawn from the training class distribution."""
+
+    def __init__(self, random_state: int | np.random.Generator | None = None):
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "StratifiedRandomClassifier":
+        """Record the empirical class distribution."""
+        X, y = check_X_y(X, y)
+        self.classes_, counts = np.unique(y, return_counts=True)
+        self._proba = counts / counts.sum()
+        self._rng = check_random_state(self.random_state)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Every row is the training class distribution."""
+        X = check_array(X)
+        return np.tile(self._proba, (X.shape[0], 1))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Independent draws from the training distribution."""
+        X = check_array(X)
+        return self._rng.choice(self.classes_, size=X.shape[0], p=self._proba)

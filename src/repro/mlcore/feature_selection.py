@@ -1,0 +1,90 @@
+"""Chi-square feature scoring and top-k selection (paper Sec. III-B).
+
+The paper computes a chi-square statistic between each (non-negative)
+feature and the class label, sorts descending, and keeps the top ``k``
+features (sweeping k ∈ {250, 500, 1000, 2000, 4000, 6436}; best = 2000).
+The statistic here matches scikit-learn's ``chi2``: observed per-class
+feature sums vs. expected sums under feature/class independence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_array, check_X_y, encode_labels
+
+__all__ = ["chi2_scores", "SelectKBest"]
+
+
+def chi2_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Chi-square statistic of each feature against the labels.
+
+    ``X`` must be non-negative (apply :class:`~repro.mlcore.preprocessing.MinMaxScaler`
+    first, as the paper does). Higher scores mean stronger dependence on the
+    label and therefore higher selection priority.
+    """
+    X, y = check_X_y(X, y)
+    if (X < 0).any():
+        raise ValueError("chi2 requires non-negative features; scale first")
+    _, codes = encode_labels(y)
+    k = codes.max() + 1
+    n = X.shape[0]
+    # observed[c, j]: total mass of feature j within class c
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), codes] = 1.0
+    observed = onehot.T @ X  # (k, m)
+    feature_totals = X.sum(axis=0)  # (m,)
+    class_priors = onehot.mean(axis=0)  # (k,)
+    expected = np.outer(class_priors, feature_totals)  # (k, m)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        terms = (observed - expected) ** 2 / expected
+    # features with zero total mass are constant-zero: chi2 = 0
+    terms = np.where(expected > 0, terms, 0.0)
+    return terms.sum(axis=0)
+
+
+class SelectKBest(BaseEstimator):
+    """Keep the ``k`` highest-scoring features under a scoring function.
+
+    Parameters
+    ----------
+    k:
+        Number of features to retain; clipped to the available count, so the
+        paper's "k = all features" ceiling case needs no special handling.
+    score_func:
+        Callable ``(X, y) -> scores``; defaults to :func:`chi2_scores`.
+    """
+
+    def __init__(self, k: int = 2000, score_func=chi2_scores):
+        self.k = k
+        self.score_func = score_func
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SelectKBest":
+        """Score features on the training split and record the kept indices."""
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        X, y = check_X_y(X, y)
+        self.scores_ = self.score_func(X, y)
+        k = min(self.k, X.shape[1])
+        # stable top-k: sort by (-score, index) so ties keep original order
+        order = np.lexsort((np.arange(len(self.scores_)), -self.scores_))
+        self.support_ = np.sort(order[:k])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project onto the selected feature subset."""
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return X[:, self.support_]
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Fit on ``(X, y)`` then transform ``X``."""
+        return self.fit(X, y).transform(X)
+
+    def get_support(self) -> np.ndarray:
+        """Indices of the selected features (sorted ascending)."""
+        return self.support_.copy()

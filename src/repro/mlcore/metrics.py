@@ -1,0 +1,209 @@
+"""Evaluation metrics used throughout the paper's Sec. V.
+
+Three headline quantities:
+
+* **macro F1** — harmonic mean of per-class precision/recall, averaged
+  unweighted over classes (the paper's "F1-score");
+* **false alarm rate** — fraction of *healthy* samples classified as any
+  anomaly class (false-positive rate of the anomaly superclass);
+* **anomaly miss rate** — fraction of *anomalous* samples (any anomaly)
+  classified as healthy (false-negative rate of the superclass).
+
+The diagnosis task is multi-class, but false-alarm/miss rates collapse it to
+healthy-vs-anomalous, exactly as the paper defines them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "matthews_corrcoef",
+    "false_alarm_rate",
+    "anomaly_miss_rate",
+    "classification_report",
+]
+
+HEALTHY_LABEL = "healthy"
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal-length 1-D"
+        )
+    if len(y_true) == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(matrix, labels)`` with rows = true class, cols = predicted."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    k = len(labels)
+    cm = np.zeros((k, k), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        cm[index[t], index[p]] += 1
+    return cm, labels
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall, F1 and the label order.
+
+    Classes absent from both predictions and truth contribute 0 to each
+    metric (scikit-learn's ``zero_division=0`` behaviour).
+    """
+    cm, labels = confusion_matrix(y_true, y_pred, labels)
+    tp = np.diag(cm).astype(float)
+    pred_totals = cm.sum(axis=0).astype(float)
+    true_totals = cm.sum(axis=1).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(pred_totals > 0, tp / np.where(pred_totals > 0, pred_totals, 1), 0.0)
+        recall = np.where(true_totals > 0, tp / np.where(true_totals > 0, true_totals, 1), 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / np.where(denom > 0, denom, 1), 0.0)
+    return precision, recall, f1, labels
+
+
+def f1_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    average: str = "macro",
+    labels: np.ndarray | None = None,
+) -> float | np.ndarray:
+    """Macro / weighted / per-class F1 (paper reports macro)."""
+    precision, recall, f1, lab = precision_recall_f1(y_true, y_pred, labels)
+    if average == "macro":
+        return float(f1.mean())
+    if average == "weighted":
+        y_true = np.asarray(y_true)
+        weights = np.array([np.sum(y_true == c) for c in lab], dtype=float)
+        total = weights.sum()
+        return float((f1 * weights).sum() / total) if total else 0.0
+    if average is None or average == "none":
+        return f1
+    raise ValueError(f"unknown average {average!r}")
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Macro-averaged precision."""
+    precision, _, _, _ = precision_recall_f1(y_true, y_pred)
+    if average != "macro":
+        raise ValueError("only macro precision is exposed")
+    return float(precision.mean())
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Macro-averaged recall."""
+    _, recall, _, _ = precision_recall_f1(y_true, y_pred)
+    if average != "macro":
+        raise ValueError("only macro recall is exposed")
+    return float(recall.mean())
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Plain accuracy."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def balanced_accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean per-class recall — accuracy that class imbalance cannot flatter.
+
+    On a 90%-healthy stream, predicting everything healthy scores 0.9
+    accuracy but only ``1 / n_classes`` balanced accuracy.
+    """
+    _, recall, _, labels = precision_recall_f1(y_true, y_pred)
+    y_true = np.asarray(y_true)
+    present = np.array([np.any(y_true == label) for label in labels])
+    if not present.any():
+        return 0.0
+    return float(recall[present].mean())
+
+
+def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Multi-class Matthews correlation (Gorodkin's R_K statistic).
+
+    +1 = perfect, 0 = no better than chance, negative = anti-correlated.
+    Degenerate marginals (all-one-class truth or prediction) return 0.
+    """
+    cm, _ = confusion_matrix(y_true, y_pred)
+    cm = cm.astype(np.float64)
+    n = cm.sum()
+    t = cm.sum(axis=1)  # true per class
+    p = cm.sum(axis=0)  # predicted per class
+    correct = np.trace(cm)
+    cov_tp = correct * n - t @ p
+    cov_tt = n * n - t @ t
+    cov_pp = n * n - p @ p
+    denom = np.sqrt(cov_tt * cov_pp)
+    if denom == 0:
+        return 0.0
+    return float(cov_tp / denom)
+
+
+def false_alarm_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, healthy_label: object = HEALTHY_LABEL
+) -> float:
+    """Fraction of healthy samples predicted as any anomaly class.
+
+    Returns 0 when no healthy samples exist (nothing to falsely alarm on).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    healthy = y_true == healthy_label
+    n_healthy = int(healthy.sum())
+    if n_healthy == 0:
+        return 0.0
+    return float(np.sum(y_pred[healthy] != healthy_label) / n_healthy)
+
+
+def anomaly_miss_rate(
+    y_true: np.ndarray, y_pred: np.ndarray, healthy_label: object = HEALTHY_LABEL
+) -> float:
+    """Fraction of anomalous samples (any anomaly type) predicted healthy.
+
+    Misdiagnosis *between* anomaly classes does not count as a miss — the
+    paper's definition only penalizes anomalous→healthy errors.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    anomalous = y_true != healthy_label
+    n_anom = int(anomalous.sum())
+    if n_anom == 0:
+        return 0.0
+    return float(np.sum(y_pred[anomalous] == healthy_label) / n_anom)
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> str:
+    """Human-readable per-class precision/recall/F1 table."""
+    precision, recall, f1, labels = precision_recall_f1(y_true, y_pred)
+    y_true = np.asarray(y_true)
+    width = max((len(str(label)) for label in labels), default=5)
+    lines = [f"{'class':<{width}}  precision  recall  f1      support"]
+    for i, label in enumerate(labels):
+        support = int(np.sum(y_true == label))
+        lines.append(
+            f"{str(label):<{width}}  {precision[i]:>9.3f}  {recall[i]:>6.3f}  "
+            f"{f1[i]:>6.3f}  {support:>7d}"
+        )
+    lines.append(
+        f"{'macro':<{width}}  {precision.mean():>9.3f}  {recall.mean():>6.3f}  "
+        f"{f1.mean():>6.3f}  {len(y_true):>7d}"
+    )
+    return "\n".join(lines)

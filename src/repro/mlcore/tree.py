@@ -1,0 +1,297 @@
+"""CART decision-tree classifier (vectorized, depth-first growth).
+
+This is the base learner behind :class:`repro.mlcore.forest.RandomForestClassifier`,
+the model ALBADross uses for every headline result (Table V, Figs. 3–8).
+It supports the hyperparameters the paper grid-searches in Table IV
+(``max_depth``, ``criterion`` ∈ {gini, entropy}) plus the knobs a forest
+needs (``max_features`` feature subsampling, ``min_samples_leaf``).
+
+Implementation notes (per the hpc-parallel guides: vectorize the hot path,
+profile-driven):
+
+* Split search is fully vectorized per (node, feature): one argsort, one
+  one-hot cumulative sum, and an impurity evaluation over *all* candidate
+  thresholds at once — no per-threshold Python loop.
+* The tree is stored in flat parallel arrays (``feature``, ``threshold``,
+  ``left``, ``right``, ``value``) so prediction is an iterative array walk
+  rather than recursive object traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_array,
+    check_random_state,
+    check_X_y,
+    encode_labels,
+)
+
+__all__ = ["DecisionTreeClassifier"]
+
+_LEAF = -1
+
+
+@dataclass
+class _TreeBuffers:
+    """Growable flat-array representation of a binary tree."""
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    left: list[int] = field(default_factory=list)
+    right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+
+    def add_node(self, class_counts: np.ndarray) -> int:
+        """Append a provisional leaf and return its index."""
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(class_counts)
+        return len(self.feature) - 1
+
+
+def _impurity(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity of class-count rows ``counts`` with row sums ``totals``.
+
+    ``counts`` is ``(n, k)``; ``totals`` is ``(n,)`` and may contain zeros
+    (empty partitions), which get impurity 0 so they never look attractive.
+    """
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = counts / totals[:, None]
+    p = np.nan_to_num(p)
+    if criterion == "gini":
+        return 1.0 - np.sum(p * p, axis=1)
+    # entropy: 0 * log(0) := 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+    return -np.sum(p * logp, axis=1)
+
+
+def _impurity_3d(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity over a (n_cuts, n_features, n_classes) count tensor.
+
+    ``totals`` broadcasts as (n_cuts, 1); returns (n_cuts, n_features).
+    The vectorized split search evaluates every (cut, feature) cell at once.
+    """
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = counts / totals[:, :, None]
+    p = np.nan_to_num(p)
+    if criterion == "gini":
+        return 1.0 - np.sum(p * p, axis=2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+    return -np.sum(p * logp, axis=2)
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """Binary-split CART classifier.
+
+    Parameters
+    ----------
+    criterion:
+        Split quality measure, ``"gini"`` or ``"entropy"`` (Table IV space).
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or too small.
+    min_samples_split:
+        Smallest node size still eligible for splitting.
+    min_samples_leaf:
+        Smallest child size a split may produce.
+    max_features:
+        Number of features examined per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction. Forests pass ``"sqrt"``.
+    random_state:
+        Seed/Generator used for feature subsampling only.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError(f"max_features fraction out of (0, 1]: {mf}")
+            return max(1, int(mf * n_features))
+        if isinstance(mf, (int, np.integer)):
+            if mf < 1:
+                raise ValueError(f"max_features must be >= 1, got {mf}")
+            return min(int(mf), n_features)
+        raise ValueError(f"unsupported max_features: {mf!r}")
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        codes: np.ndarray,
+        idx: np.ndarray,
+        feat_candidates: np.ndarray,
+        parent_impurity: float,
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, weighted child impurity) for node ``idx``.
+
+        Returns ``None`` when no valid split exists (all candidate features
+        constant, or every cut violates ``min_samples_leaf``).
+        """
+        n = len(idx)
+        k = self._n_classes
+        y_node = codes[idx]
+
+        # evaluate every candidate feature at once: (n, f) sorted columns,
+        # (n-1, f, k) running class counts, one argmin over all cuts
+        Xs = X[np.ix_(idx, feat_candidates)]  # (n, f)
+        order = np.argsort(Xs, axis=0, kind="stable")
+        xs_sorted = np.take_along_axis(Xs, order, axis=0)
+        diff = xs_sorted[1:] != xs_sorted[:-1]  # (n-1, f)
+        if not diff.any():
+            return None
+        y_sorted = y_node[order]  # (n, f)
+        onehot = (
+            y_sorted[:, :, None] == np.arange(k)[None, None, :]
+        ).astype(np.float64)  # (n, f, k)
+        left_counts = np.cumsum(onehot, axis=0)[:-1]  # (n-1, f, k)
+        total_counts = left_counts[-1] + onehot[-1]  # (f, k)
+        right_counts = total_counts[None] - left_counts
+        n_left = np.arange(1, n, dtype=np.float64)[:, None]  # (n-1, 1)
+        n_right = n - n_left
+        valid = (
+            diff
+            & (n_left >= self.min_samples_leaf)
+            & (n_right >= self.min_samples_leaf)
+        )
+        if not valid.any():
+            return None
+        imp_left = _impurity_3d(left_counts, n_left, self.criterion)
+        imp_right = _impurity_3d(right_counts, n_right, self.criterion)
+        weighted = (n_left * imp_left + n_right * imp_right) / n  # (n-1, f)
+        weighted = np.where(valid, weighted, np.inf)
+        flat = int(np.argmin(weighted))
+        cut, fpos = np.unravel_index(flat, weighted.shape)
+        score = float(weighted[cut, fpos])
+        if score >= parent_impurity - 1e-12:  # must strictly improve
+            return None
+        thr = 0.5 * (xs_sorted[cut, fpos] + xs_sorted[cut + 1, fpos])
+        return int(feat_candidates[fpos]), float(thr), score
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree depth-first on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        self.classes_, codes = encode_labels(y)
+        self._n_classes = len(self.classes_)
+        n_samples, n_features = X.shape
+        self.n_features_in_ = n_features
+        n_cand = self._n_candidate_features(n_features)
+
+        buf = _TreeBuffers()
+        root_counts = np.bincount(codes, minlength=self._n_classes).astype(float)
+        root = buf.add_node(root_counts)
+        importances = np.zeros(n_features)
+        # stack of (node_id, sample indices, depth)
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(n_samples), 0)]
+
+        while stack:
+            node_id, idx, depth = stack.pop()
+            counts = buf.value[node_id]
+            pure = np.count_nonzero(counts) <= 1
+            too_deep = self.max_depth is not None and depth >= self.max_depth
+            too_small = len(idx) < self.min_samples_split
+            if pure or too_deep or too_small:
+                continue
+            parent_imp = float(
+                _impurity(counts[None, :], np.array([counts.sum()]), self.criterion)[0]
+            )
+            if n_cand < n_features:
+                feats = rng.choice(n_features, size=n_cand, replace=False)
+            else:
+                feats = np.arange(n_features)
+            split = self._best_split(X, codes, idx, feats, parent_imp)
+            if split is None:
+                continue
+            j, thr, child_imp = split
+            # mean decrease in impurity, weighted by node population
+            importances[j] += (len(idx) / n_samples) * (parent_imp - child_imp)
+            mask = X[idx, j] <= thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            left_counts = np.bincount(codes[left_idx], minlength=self._n_classes)
+            right_counts = counts - left_counts
+            left_id = buf.add_node(left_counts.astype(float))
+            right_id = buf.add_node(right_counts.astype(float))
+            buf.feature[node_id] = j
+            buf.threshold[node_id] = thr
+            buf.left[node_id] = left_id
+            buf.right[node_id] = right_id
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self.tree_feature_ = np.array(buf.feature, dtype=np.int64)
+        self.tree_threshold_ = np.array(buf.threshold, dtype=np.float64)
+        self.tree_left_ = np.array(buf.left, dtype=np.int64)
+        self.tree_right_ = np.array(buf.right, dtype=np.int64)
+        values = np.vstack(buf.value)
+        sums = values.sum(axis=1, keepdims=True)
+        self.tree_value_ = values / np.where(sums > 0, sums, 1.0)
+        self.node_count_ = len(buf.feature)
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized descent: route every row of ``X`` to its leaf id."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.tree_feature_[node] != _LEAF
+        while active.any():
+            idx = np.flatnonzero(active)
+            cur = node[idx]
+            feats = self.tree_feature_[cur]
+            go_left = X[idx, feats] <= self.tree_threshold_[cur]
+            node[idx] = np.where(go_left, self.tree_left_[cur], self.tree_right_[cur])
+            active[idx] = self.tree_feature_[node[idx]] != _LEAF
+        return node
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-frequency distribution of the leaf each sample lands in."""
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}"
+            )
+        return self.tree_value_[self._leaf_indices(X)]
+
+    @property
+    def depth_(self) -> int:
+        """Realized tree depth (0 for a stump that never split)."""
+        depth = np.zeros(self.node_count_, dtype=np.int64)
+        for i in range(self.node_count_):
+            if self.tree_feature_[i] != _LEAF:
+                depth[self.tree_left_[i]] = depth[i] + 1
+                depth[self.tree_right_[i]] = depth[i] + 1
+        return int(depth.max()) if self.node_count_ else 0

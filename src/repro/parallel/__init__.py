@@ -1,0 +1,12 @@
+"""repro.parallel — HPC-parallel utilities (process fan-out, partitioners)."""
+
+from .executor import Executor, default_workers
+from .partition import block_partition, chunk_sizes, cyclic_partition
+
+__all__ = [
+    "Executor",
+    "block_partition",
+    "chunk_sizes",
+    "cyclic_partition",
+    "default_workers",
+]

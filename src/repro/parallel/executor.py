@@ -1,0 +1,75 @@
+"""Process-pool map with chunking and ordered results.
+
+The guides' advice for Python HPC: vectorize inside a process, fan
+embarrassingly parallel work across processes. This executor wraps
+``concurrent.futures.ProcessPoolExecutor`` with block chunking (amortizes
+pickling overhead over many small tasks — per-run feature extraction is
+milliseconds, far below the cost of a bare task submission) and falls back
+to serial execution transparently when ``n_workers <= 1``, which keeps
+tests and seeded experiments deterministic by default.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .partition import block_partition
+
+__all__ = ["Executor", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism minus one, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _run_chunk(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+class Executor:
+    """Chunked, order-preserving parallel map.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count; ``<= 1`` runs serially in-process (no pool, no
+        pickling — exact same results, easier debugging).
+    chunks_per_worker:
+        Number of chunks each worker receives; >1 improves load balance
+        when per-item cost varies.
+    """
+
+    def __init__(self, n_workers: int | None = None, chunks_per_worker: int = 4):
+        if chunks_per_worker < 1:
+            raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+        self.n_workers = default_workers() if n_workers is None else max(1, n_workers)
+        self.chunks_per_worker = chunks_per_worker
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        ``fn`` and the items must be picklable when ``n_workers > 1``
+        (module-level functions; no lambdas).
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.n_workers <= 1 or len(items) == 1:
+            return [fn(item) for item in items]
+        n_chunks = min(len(items), self.n_workers * self.chunks_per_worker)
+        chunks = [
+            [items[i] for i in idx]
+            for idx in block_partition(len(items), n_chunks)
+            if len(idx)
+        ]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            chunk_results = list(
+                pool.map(_run_chunk, [fn] * len(chunks), chunks)
+            )
+        return [r for chunk in chunk_results for r in chunk]

@@ -1,0 +1,38 @@
+"""repro.telemetry — LDMS-style monitoring substrate.
+
+Metric catalogs shaped like the paper's Volta (721 metrics) and Eclipse
+(806 metrics) deployments, a compute-node resource/contention model, a
+1 Hz sampler with cumulative counters and bursty sample loss, and the
+per-run :class:`RunRecord` collection unit.
+"""
+
+from .catalog import (
+    RESOURCE_DIMS,
+    MetricCatalog,
+    MetricKind,
+    MetricSpec,
+    Subsystem,
+    build_catalog,
+    eclipse_catalog,
+    volta_catalog,
+)
+from .collector import Collector, RunRecord
+from .node import ECLIPSE_NODE, VOLTA_NODE, NodeProfile
+from .sampler import TelemetrySampler
+
+__all__ = [
+    "Collector",
+    "ECLIPSE_NODE",
+    "MetricCatalog",
+    "MetricKind",
+    "MetricSpec",
+    "NodeProfile",
+    "RESOURCE_DIMS",
+    "RunRecord",
+    "Subsystem",
+    "TelemetrySampler",
+    "VOLTA_NODE",
+    "build_catalog",
+    "eclipse_catalog",
+    "volta_catalog",
+]

@@ -1,0 +1,306 @@
+"""Metric catalog — the LDMS metric inventory (paper Sec. IV-B).
+
+LDMS samples hundreds of resource-utilization metrics per node at 1 Hz:
+806 on Eclipse, 721 on Volta, spanning memory/virtual-memory, per-core CPU,
+network, shared-filesystem, and Cray performance-counter subsystems. This
+module reproduces that inventory as a typed catalog: every metric knows its
+subsystem, whether it is a *gauge* (instantaneous value) or a *cumulative
+counter* (monotone; consumers must difference it, exactly the preprocessing
+the paper describes in Sec. IV-E1), and how strongly it responds to each
+modeled resource dimension.
+
+Metric response coefficients are derived deterministically from the metric
+name, so two catalogs built with the same parameters are identical — runs
+generated on different days or processes line up feature-for-feature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "Subsystem",
+    "MetricKind",
+    "MetricSpec",
+    "MetricCatalog",
+    "RESOURCE_DIMS",
+    "build_catalog",
+    "volta_catalog",
+    "eclipse_catalog",
+]
+
+# The modeled resource dimensions ("demands") a workload or anomaly exerts.
+# Application signatures and anomaly injectors are expressed in this space;
+# the catalog maps it onto individual metrics.
+RESOURCE_DIMS = ("cpu", "cache", "membw", "mem", "net", "io")
+
+
+class Subsystem(str, Enum):
+    """Telemetry subsystems LDMS collects from (paper's bullet list)."""
+
+    MEMORY = "memory"
+    VMSTAT = "vmstat"
+    CPU = "cpu"
+    NETWORK = "network"
+    FILESYSTEM = "filesystem"
+    CRAY = "cray"
+
+
+class MetricKind(str, Enum):
+    """Gauge = instantaneous reading; counter = cumulative, must be diffed."""
+
+    GAUGE = "gauge"
+    COUNTER = "counter"
+
+
+def _hash_unit(name: str, salt: str) -> float:
+    """Deterministic float in [0, 1) from a metric name — stable coefficients."""
+    digest = hashlib.sha256(f"{salt}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One metric: identity plus its response to the resource dimensions.
+
+    ``response`` is a length-``len(RESOURCE_DIMS)`` vector of gains; the
+    sampled value is ``baseline + response · demand + noise`` (gauges) or
+    the cumulative sum of that rate (counters). ``noise_scale`` is relative
+    to the metric's dynamic range.
+    """
+
+    name: str
+    subsystem: Subsystem
+    kind: MetricKind
+    baseline: float
+    response: tuple[float, ...]
+    noise_scale: float
+
+    def respond(self, demand: np.ndarray) -> np.ndarray:
+        """Instantaneous rate/value for a (T, n_dims) demand timeline."""
+        return self.baseline + demand @ np.asarray(self.response)
+
+
+def _make_spec(
+    name: str,
+    subsystem: Subsystem,
+    kind: MetricKind,
+    primary: dict[str, float],
+) -> MetricSpec:
+    """Build a spec whose response is dominated by ``primary`` dimensions.
+
+    Every metric also picks up small hash-derived couplings to the other
+    dimensions (real metrics are never perfectly orthogonal), and a
+    hash-derived baseline/noise so the catalog has realistic diversity.
+    """
+    response = []
+    for i, dim in enumerate(RESOURCE_DIMS):
+        main = primary.get(dim, 0.0)
+        cross = 0.05 * _hash_unit(name, f"cross{i}")
+        response.append(main * (0.8 + 0.4 * _hash_unit(name, f"gain{i}")) + cross)
+    baseline = 0.2 + 0.8 * _hash_unit(name, "baseline")
+    noise = 0.02 + 0.06 * _hash_unit(name, "noise")
+    return MetricSpec(
+        name=name,
+        subsystem=subsystem,
+        kind=kind,
+        baseline=baseline,
+        response=tuple(response),
+        noise_scale=noise,
+    )
+
+
+@dataclass(frozen=True)
+class MetricCatalog:
+    """Immutable collection of metric specs with vectorized access."""
+
+    specs: tuple[MetricSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def names(self) -> list[str]:
+        """Metric names in catalog order (column order of collected runs)."""
+        return [s.name for s in self.specs]
+
+    @property
+    def response_matrix(self) -> np.ndarray:
+        """(n_metrics, n_dims) gain matrix for vectorized sampling."""
+        return np.array([s.response for s in self.specs])
+
+    @property
+    def baselines(self) -> np.ndarray:
+        """(n_metrics,) baseline vector."""
+        return np.array([s.baseline for s in self.specs])
+
+    @property
+    def noise_scales(self) -> np.ndarray:
+        """(n_metrics,) relative noise amplitudes."""
+        return np.array([s.noise_scale for s in self.specs])
+
+    @property
+    def counter_mask(self) -> np.ndarray:
+        """(n_metrics,) boolean mask of cumulative counters."""
+        return np.array([s.kind is MetricKind.COUNTER for s in self.specs])
+
+    def by_subsystem(self, subsystem: Subsystem) -> list[MetricSpec]:
+        """All specs of one subsystem."""
+        return [s for s in self.specs if s.subsystem is subsystem]
+
+
+def build_catalog(
+    n_cores: int = 8,
+    n_nics: int = 2,
+    n_extra_cray: int = 10,
+) -> MetricCatalog:
+    """Construct a catalog shaped like an LDMS deployment.
+
+    ``n_cores`` scales the per-core CPU group (the bulk of a real catalog:
+    Volta exposes 48 hyper-threaded cores × several counters each);
+    reducing it shrinks the catalog for fast experiments without changing
+    its structure.
+    """
+    if n_cores < 1 or n_nics < 1:
+        raise ValueError("need at least one core and one NIC")
+    specs: list[MetricSpec] = []
+
+    # memory gauges (meminfo-style)
+    for name, primary in [
+        ("MemFree", {"mem": -1.0}),
+        ("MemAvailable", {"mem": -0.9}),
+        ("Active", {"mem": 0.9}),
+        ("Inactive", {"mem": 0.4}),
+        ("Cached", {"cache": 0.5, "io": 0.3}),
+        ("Buffers", {"io": 0.6}),
+        ("Dirty", {"io": 0.8}),
+        ("Writeback", {"io": 0.7}),
+        ("AnonPages", {"mem": 1.0}),
+        ("Mapped", {"mem": 0.6}),
+        ("Shmem", {"mem": 0.3}),
+        ("Slab", {"mem": 0.2, "io": 0.2}),
+        ("KernelStack", {"cpu": 0.2}),
+        ("PageTables", {"mem": 0.5}),
+        ("CommitLimit", {}),
+        ("Committed_AS", {"mem": 0.8}),
+    ]:
+        specs.append(
+            _make_spec(f"meminfo.{name}", Subsystem.MEMORY, MetricKind.GAUGE, primary)
+        )
+
+    # vmstat counters
+    for name, primary in [
+        ("pgfault", {"mem": 0.8, "cpu": 0.2}),
+        ("pgmajfault", {"io": 0.5, "mem": 0.3}),
+        ("pgpgin", {"io": 0.9}),
+        ("pgpgout", {"io": 0.9}),
+        ("pswpin", {"mem": 0.4, "io": 0.3}),
+        ("pswpout", {"mem": 0.5, "io": 0.3}),
+        ("numa_hit", {"membw": 0.8}),
+        ("numa_miss", {"membw": 0.5}),
+        ("numa_local", {"membw": 0.7}),
+        ("thp_fault_alloc", {"mem": 0.6}),
+    ]:
+        specs.append(
+            _make_spec(f"vmstat.{name}", Subsystem.VMSTAT, MetricKind.COUNTER, primary)
+        )
+
+    # per-core CPU counters (procstat-style)
+    for core in range(n_cores):
+        for field, primary in [
+            ("user", {"cpu": 1.0}),
+            ("sys", {"io": 0.4, "net": 0.3, "cpu": 0.2}),
+            ("idle", {"cpu": -1.0}),
+            ("iowait", {"io": 0.8}),
+        ]:
+            specs.append(
+                _make_spec(
+                    f"procstat.cpu{core}.{field}",
+                    Subsystem.CPU,
+                    MetricKind.COUNTER,
+                    primary,
+                )
+            )
+
+    # network counters per NIC
+    for nic in range(n_nics):
+        for field, primary in [
+            ("rx_packets", {"net": 1.0}),
+            ("tx_packets", {"net": 1.0}),
+            ("rx_bytes", {"net": 0.9}),
+            ("tx_bytes", {"net": 0.9}),
+            ("rx_dropped", {"net": 0.2}),
+        ]:
+            specs.append(
+                _make_spec(
+                    f"procnetdev.ipogif{nic}.{field}",
+                    Subsystem.NETWORK,
+                    MetricKind.COUNTER,
+                    primary,
+                )
+            )
+
+    # shared-filesystem counters (Lustre-style)
+    for field, primary in [
+        ("open", {"io": 0.8}),
+        ("close", {"io": 0.8}),
+        ("read_bytes", {"io": 1.0}),
+        ("write_bytes", {"io": 1.0}),
+        ("getattr", {"io": 0.5}),
+        ("setattr", {"io": 0.4}),
+        ("seek", {"io": 0.3}),
+        ("fsync", {"io": 0.6}),
+    ]:
+        specs.append(
+            _make_spec(
+                f"lustre.{field}", Subsystem.FILESYSTEM, MetricKind.COUNTER, primary
+            )
+        )
+
+    # Cray performance counters: power, memory traffic, NIC flits
+    cray_fields: list[tuple[str, MetricKind, dict[str, float]]] = [
+        ("power", MetricKind.GAUGE, {"cpu": 0.8, "membw": 0.4}),
+        ("energy", MetricKind.COUNTER, {"cpu": 0.8, "membw": 0.4}),
+        ("WB_hits", MetricKind.COUNTER, {"cache": 1.0}),
+        ("WB_misses", MetricKind.COUNTER, {"cache": 0.6, "membw": 0.6}),
+        ("flits_in", MetricKind.COUNTER, {"net": 0.9}),
+        ("flits_out", MetricKind.COUNTER, {"net": 0.9}),
+        ("stalls", MetricKind.COUNTER, {"membw": 0.8, "cache": 0.4}),
+        ("freq", MetricKind.GAUGE, {"cpu": 0.3}),
+    ]
+    for i in range(n_extra_cray):
+        field, kind, primary = cray_fields[i % len(cray_fields)]
+        suffix = "" if i < len(cray_fields) else f".{i // len(cray_fields)}"
+        specs.append(
+            _make_spec(f"cray.{field}{suffix}", Subsystem.CRAY, kind, primary)
+        )
+
+    return MetricCatalog(specs=tuple(specs))
+
+
+def volta_catalog(scale: float = 1.0) -> MetricCatalog:
+    """Volta-shaped catalog: 721 metrics at ``scale=1`` (48 HT cores).
+
+    ``scale`` < 1 shrinks the per-core group proportionally for fast
+    experiments (the structure — subsystem mix, counter/gauge split —
+    is preserved).
+    """
+    n_cores = max(1, int(round(48 * scale)))
+    n_extra = max(4, int(round(485 * scale))) if scale < 1 else 485
+    # 16 mem + 10 vmstat + 4*48 cpu + 2*5 net + 8 fs + 485 cray = 721
+    return build_catalog(n_cores=n_cores, n_nics=2, n_extra_cray=n_extra)
+
+
+def eclipse_catalog(scale: float = 1.0) -> MetricCatalog:
+    """Eclipse-shaped catalog: 806 metrics at ``scale=1`` (72 HT cores)."""
+    n_cores = max(1, int(round(72 * scale)))
+    n_extra = max(4, int(round(474 * scale))) if scale < 1 else 474
+    # 16 + 10 + 4*72 + 10 + 8 + 474 = 806
+    return build_catalog(n_cores=n_cores, n_nics=2, n_extra_cray=n_extra)

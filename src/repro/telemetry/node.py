@@ -1,0 +1,85 @@
+"""Compute-node resource model.
+
+A node turns *demand* (what the application plus any co-running anomaly ask
+of each resource dimension) into *utilization* (what the hardware actually
+delivers), which is what monitoring metrics observe. The two differ when a
+resource saturates: an application asking for 80% of memory bandwidth while
+a membw anomaly asks for another 50% does not get 130% — both get squeezed,
+and the squeeze is precisely the performance-variation signal the paper's
+anomalies create on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .catalog import RESOURCE_DIMS
+
+__all__ = ["NodeProfile", "VOLTA_NODE", "ECLIPSE_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Hardware envelope of one compute node.
+
+    Capacities are expressed in normalized demand units (1.0 = the nominal
+    full capacity of that dimension); ``contention_sharpness`` controls how
+    abruptly utilization saturates as demand approaches capacity.
+    """
+
+    name: str
+    n_cores: int
+    mem_gb: int
+    capacity: tuple[float, ...] = (1.0,) * len(RESOURCE_DIMS)
+    contention_sharpness: float = 4.0
+
+    def __post_init__(self) -> None:
+        if len(self.capacity) != len(RESOURCE_DIMS):
+            raise ValueError(
+                f"capacity must have {len(RESOURCE_DIMS)} entries, got {len(self.capacity)}"
+            )
+        if any(c <= 0 for c in self.capacity):
+            raise ValueError("capacities must be positive")
+
+    def utilize(self, demand: np.ndarray) -> np.ndarray:
+        """Map a (T, n_dims) demand timeline to delivered utilization.
+
+        Uses a soft-min saturating response
+        ``u = d / (1 + (d / cap)^s)^(1/s)`` — essentially linear while
+        demand stays below capacity (sub-capacity signal passes through
+        undistorted) and asymptoting to ``cap`` once demand exceeds it.
+        ``contention_sharpness`` sets how abrupt the knee is. Demand is
+        clipped at zero (negative demand is meaningless).
+        """
+        demand = np.asarray(demand, dtype=np.float64)
+        if demand.ndim != 2 or demand.shape[1] != len(RESOURCE_DIMS):
+            raise ValueError(
+                f"demand must be (T, {len(RESOURCE_DIMS)}), got {demand.shape}"
+            )
+        d = np.maximum(demand, 0.0)
+        cap = np.asarray(self.capacity)
+        s = self.contention_sharpness
+        return d / (1.0 + (d / cap) ** s) ** (1.0 / s)
+
+    def slowdown(self, app_demand: np.ndarray, total_demand: np.ndarray) -> np.ndarray:
+        """Per-timestep application slowdown factor in (0, 1].
+
+        When total demand on any dimension exceeds capacity, the application
+        only receives its proportional share; the most-contended dimension
+        bounds progress (Amdahl-style). Returns 1.0 where nothing saturates.
+        """
+        app = np.maximum(np.asarray(app_demand, dtype=np.float64), 0.0)
+        total = np.maximum(np.asarray(total_demand, dtype=np.float64), 1e-12)
+        cap = np.asarray(self.capacity)
+        over = total / cap  # >1 means oversubscribed
+        share = np.where(over > 1.0, 1.0 / over, 1.0)
+        # only dimensions the app actually uses can slow it down
+        relevant = app > 1e-3
+        share = np.where(relevant, share, 1.0)
+        return share.min(axis=1)
+
+
+VOLTA_NODE = NodeProfile(name="volta-xc30m", n_cores=48, mem_gb=64)
+ECLIPSE_NODE = NodeProfile(name="eclipse", n_cores=72, mem_gb=128)

@@ -1,0 +1,106 @@
+"""1 Hz telemetry sampling (LDMS data path).
+
+Turns a node's utilization timeline into the raw metric matrix a monitoring
+framework would record: per-metric affine response plus noise, cumulative
+accumulation for counter metrics, and occasional missing samples (LDMS
+loses datapoints in flight; the paper's pipeline linearly interpolates
+them — :mod:`repro.features.pipeline` reproduces that repair step, so the
+sampler must produce the damage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mlcore.base import check_random_state
+from .catalog import RESOURCE_DIMS, MetricCatalog
+from .node import NodeProfile
+
+__all__ = ["TelemetrySampler"]
+
+
+@dataclass
+class TelemetrySampler:
+    """Sample a metric catalog against a demand timeline.
+
+    Parameters
+    ----------
+    catalog:
+        Which metrics exist and how each responds to resource demand.
+    node:
+        Hardware envelope; demand saturates through
+        :meth:`NodeProfile.utilize` before metrics observe it.
+    missing_rate:
+        Per-(timestep, metric) probability of a lost sample (NaN).
+    missing_burst:
+        Expected length of a missing run — LDMS drops tend to be bursty
+        (a sampler stall loses consecutive ticks, not isolated ones).
+    """
+
+    catalog: MetricCatalog
+    node: NodeProfile
+    missing_rate: float = 0.005
+    missing_burst: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.missing_rate < 1.0:
+            raise ValueError(f"missing_rate must be in [0, 1), got {self.missing_rate}")
+        if self.missing_burst < 1.0:
+            raise ValueError(f"missing_burst must be >= 1, got {self.missing_burst}")
+
+    def sample(
+        self,
+        demand: np.ndarray,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Produce the (T, n_metrics) raw telemetry matrix.
+
+        Gauges read ``baseline + response·utilization + noise`` at each
+        tick; counters accumulate the same quantity (floored at zero —
+        hardware counters never decrement) via a cumulative sum, matching
+        the "calculate the difference between each step for cumulative
+        performance counters" preprocessing the paper applies.
+        """
+        rng = check_random_state(rng)
+        demand = np.asarray(demand, dtype=np.float64)
+        if demand.ndim != 2 or demand.shape[1] != len(RESOURCE_DIMS):
+            raise ValueError(
+                f"demand must be (T, {len(RESOURCE_DIMS)}), got {demand.shape}"
+            )
+        T = demand.shape[0]
+        util = self.node.utilize(demand)
+        gains = self.catalog.response_matrix  # (M, D)
+        base = self.catalog.baselines  # (M,)
+        noise_scale = self.catalog.noise_scales  # (M,)
+
+        rates = base[None, :] + util @ gains.T  # (T, M)
+        rates = rates + rng.normal(scale=noise_scale, size=rates.shape)
+
+        counters = self.catalog.counter_mask
+        values = rates.copy()
+        if counters.any():
+            # counters integrate the (non-negative) rate
+            values[:, counters] = np.cumsum(
+                np.maximum(rates[:, counters], 0.0), axis=0
+            )
+
+        if self.missing_rate > 0:
+            values[self._missing_mask(T, values.shape[1], rng)] = np.nan
+        return values
+
+    def _missing_mask(
+        self, T: int, M: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Bursty missing-sample mask with the configured marginal rate."""
+        start_rate = self.missing_rate / self.missing_burst
+        starts = rng.random((T, M)) < start_rate
+        mask = np.zeros((T, M), dtype=bool)
+        burst = max(1, int(round(self.missing_burst)))
+        for offset in range(burst):
+            shifted = np.zeros_like(starts)
+            if offset < T:
+                shifted[offset:] = starts[: T - offset]
+            mask |= shifted
+        return mask

@@ -1,0 +1,111 @@
+"""Tests for density-weighted uncertainty and query-by-committee."""
+
+import numpy as np
+import pytest
+
+from repro.active.advanced import (
+    DensityWeightedUncertainty,
+    QueryByCommittee,
+    information_density,
+)
+from repro.active.learner import ActiveLearner
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.linear import LogisticRegression
+
+
+class TestInformationDensity:
+    def test_dense_cluster_scores_higher_than_outlier(self):
+        rng = np.random.default_rng(0)
+        cluster = rng.normal((1, 1), 0.05, size=(30, 2))
+        outlier = np.array([[50.0, -50.0]])
+        pool = np.vstack([cluster, outlier])
+        density = information_density(pool)
+        assert density[:30].mean() > density[30]
+
+    def test_beta_zero_is_flat(self):
+        rng = np.random.default_rng(1)
+        density = information_density(rng.normal(size=(10, 3)), beta=0.0)
+        assert np.allclose(density, 1.0)
+
+    def test_zero_vector_density_zero(self):
+        pool = np.vstack([np.zeros((1, 2)), np.ones((5, 2))])
+        assert information_density(pool)[0] == 0.0
+
+
+class TestDensityWeightedUncertainty:
+    def _fixture(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.4, (20, 2)), rng.normal(2, 0.4, (20, 2))])
+        y = np.array([0] * 20 + [1] * 20)
+        model = LogisticRegression(C=10.0).fit(X, y)
+        return model
+
+    def test_prefers_representative_boundary_points(self):
+        model = self._fixture()
+        rng = np.random.default_rng(2)
+        # a dense cloud near the boundary plus one extreme boundary outlier
+        dense = rng.normal((0, 0), 0.2, size=(40, 2))
+        outlier = np.array([[0.0, 80.0]])  # on the boundary but far away
+        pool = np.vstack([dense, outlier])
+        pick_plain = DensityWeightedUncertainty(beta=0.0)(model, pool, None)
+        pick_dense = DensityWeightedUncertainty(beta=2.0)(model, pool, None)
+        assert pick_dense < 40  # density weighting avoids the outlier
+
+    def test_empty_pool(self):
+        model = self._fixture()
+        with pytest.raises(ValueError, match="empty"):
+            DensityWeightedUncertainty()(model, np.empty((0, 2)), None)
+
+    def test_works_inside_active_learner(self):
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(-2, 0.4, (5, 2)), rng.normal(2, 0.4, (5, 2))])
+        y = np.array([0] * 5 + [1] * 5)
+        learner = ActiveLearner(
+            LogisticRegression(), DensityWeightedUncertainty(), X, y
+        )
+        pool = rng.normal(0, 1, size=(20, 2))
+        idx = learner.query(pool)
+        assert 0 <= idx < 20
+
+
+class TestQueryByCommittee:
+    def _learner(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (12, 2)), rng.normal(2, 0.5, (12, 2))])
+        y = np.array([0] * 12 + [1] * 12)
+        return ActiveLearner(
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            "uncertainty",
+            X,
+            y,
+            random_state=0,
+        )
+
+    def test_requires_binding(self):
+        qbc = QueryByCommittee()
+        with pytest.raises(RuntimeError, match="get_training_data"):
+            qbc(None, np.ones((3, 2)), np.random.default_rng(0))
+
+    def test_selects_disagreement_region(self):
+        learner = self._learner()
+        qbc = QueryByCommittee(committee_size=7).bind_learner(learner)
+        pool = np.array([[0.0, 0.0], [-2.0, -2.0], [2.0, 2.0]])
+        picks = [qbc(learner.model, pool, np.random.default_rng(s)) for s in range(5)]
+        # the boundary point should dominate the disagreement votes
+        assert max(set(picks), key=picks.count) == 0
+
+    def test_empty_pool(self):
+        learner = self._learner()
+        qbc = QueryByCommittee().bind_learner(learner)
+        with pytest.raises(ValueError, match="empty"):
+            qbc(learner.model, np.empty((0, 2)), np.random.default_rng(0))
+
+    def test_usable_as_learner_strategy(self):
+        learner = self._learner()
+        qbc = QueryByCommittee(committee_size=3)
+        qbc.bind_learner(learner)
+        learner._strategy = qbc  # rebind the strategy post-construction
+        pool = np.random.default_rng(1).normal(size=(10, 2))
+        idx = learner.query(pool)
+        learner.teach(pool[idx], 0)
+        assert learner.n_labeled == 25

@@ -1,0 +1,113 @@
+"""Tests for the Random / Equal App / Proctor baselines."""
+
+import numpy as np
+import pytest
+
+from repro.active.baselines import (
+    EqualAppSelector,
+    ProctorModel,
+    RandomSelector,
+    clone_with_representation,
+)
+
+
+class TestRandomSelector:
+    def test_indices_in_range(self):
+        sel = RandomSelector()
+        rng = np.random.default_rng(0)
+        pool = np.zeros((17, 2))
+        picks = [sel(None, pool, rng) for _ in range(100)]
+        assert all(0 <= p < 17 for p in picks)
+
+    def test_covers_the_pool(self):
+        sel = RandomSelector()
+        rng = np.random.default_rng(1)
+        pool = np.zeros((5, 2))
+        picks = {sel(None, pool, rng) for _ in range(200)}
+        assert picks == set(range(5))
+
+
+class TestEqualAppSelector:
+    def test_round_robin_over_apps(self):
+        apps = np.array(["A", "A", "B", "B", "C", "C"])
+        sel = EqualAppSelector(apps)
+        rng = np.random.default_rng(0)
+        pool = np.zeros((6, 2))
+        first_three = []
+        local_apps = list(apps)
+        for _ in range(3):
+            i = sel(None, np.zeros((len(local_apps), 2)), rng)
+            first_three.append(local_apps[i])
+            sel.remove(i)
+            del local_apps[i]
+        # one query from each app type in cycle order
+        assert sorted(first_three) == ["A", "B", "C"]
+
+    def test_exhausted_app_is_skipped(self):
+        apps = np.array(["A", "B"])
+        sel = EqualAppSelector(apps)
+        rng = np.random.default_rng(0)
+        i = sel(None, np.zeros((2, 2)), rng)  # picks from A
+        sel.remove(i)
+        # next round-robin target is B; A is gone afterwards
+        j = sel(None, np.zeros((1, 2)), rng)
+        assert j == 0
+
+    def test_out_of_sync_detection(self):
+        sel = EqualAppSelector(np.array(["A", "B"]))
+        with pytest.raises(RuntimeError, match="out of sync"):
+            sel(None, np.zeros((5, 2)), np.random.default_rng(0))
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ValueError, match="no application"):
+            EqualAppSelector(np.array([]))
+
+
+class TestProctorModel:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        latent = rng.normal(size=(150, 3))
+        basis = rng.normal(size=(3, 20))
+        X = latent @ basis
+        X = (X - X.min(0)) / (X.max(0) - X.min(0))
+        y = (latent[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_fit_unlabeled_then_head(self, data):
+        X, y = data
+        proctor = ProctorModel(code_size=3, hidden_layer_sizes=(32,), ae_epochs=80, random_state=0)
+        proctor.fit_unlabeled(X[:100])
+        proctor.fit(X[:40], y[:40])
+        assert proctor.score(X[100:], y[100:]) > 0.65
+
+    def test_predict_proba_rows(self, data):
+        X, y = data
+        proctor = ProctorModel(code_size=4, ae_epochs=10, random_state=0)
+        proctor.fit_unlabeled(X).fit(X[:40], y[:40])
+        proba = proctor.predict_proba(X[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_fit_without_pretrain_falls_back(self, data):
+        X, y = data
+        proctor = ProctorModel(code_size=4, ae_epochs=5, random_state=0)
+        proctor.fit(X[:40], y[:40])  # trains AE on labeled data itself
+        assert hasattr(proctor, "autoencoder_")
+
+    def test_clone_with_representation_shares_ae(self, data):
+        X, y = data
+        proctor = ProctorModel(code_size=4, ae_epochs=5, random_state=0)
+        proctor.fit_unlabeled(X)
+        fresh = clone_with_representation(proctor)
+        assert fresh.autoencoder_ is proctor.autoencoder_
+        assert not hasattr(fresh, "head_")
+
+    def test_refit_head_keeps_representation(self, data):
+        """Refitting on more labels must not retrain the autoencoder."""
+        X, y = data
+        proctor = ProctorModel(code_size=4, ae_epochs=10, random_state=0)
+        proctor.fit_unlabeled(X)
+        ae_before = proctor.autoencoder_
+        proctor.fit(X[:30], y[:30])
+        proctor.fit(X[:60], y[:60])
+        assert proctor.autoencoder_ is ae_before

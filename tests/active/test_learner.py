@@ -1,0 +1,138 @@
+"""Tests for the pool-based ActiveLearner."""
+
+import numpy as np
+import pytest
+
+from repro.active.learner import ActiveLearner
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.linear import LogisticRegression
+
+
+def _seed_data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(-2, 0.5, (5, 2)), rng.normal(2, 0.5, (5, 2))])
+    y = np.array([0] * 5 + [1] * 5)
+    return X, y
+
+
+class TestConstruction:
+    def test_trains_initial_model(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(), "uncertainty", X, y)
+        assert learner.n_labeled == 10
+        assert learner.score(X, y) == 1.0
+
+    def test_rejects_bad_refit_every(self):
+        X, y = _seed_data()
+        with pytest.raises(ValueError, match="refit_every"):
+            ActiveLearner(LogisticRegression(), "uncertainty", X, y, refit_every=0)
+
+    def test_strategy_by_name_and_callable(self):
+        X, y = _seed_data()
+        by_name = ActiveLearner(LogisticRegression(), "margin", X, y)
+        by_fn = ActiveLearner(
+            LogisticRegression(), lambda model, pool, rng: 0, X, y
+        )
+        pool = np.zeros((3, 2))
+        assert isinstance(by_name.query(pool), int)
+        assert by_fn.query(pool) == 0
+
+
+class TestQuery:
+    def test_query_returns_most_uncertain(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(C=10.0), "uncertainty", X, y)
+        pool = np.array([[3.0, 3.0], [0.0, 0.0], [-3.0, -3.0]])
+        assert learner.query(pool) == 1  # boundary point
+
+    def test_empty_pool_raises(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(), "uncertainty", X, y)
+        with pytest.raises(ValueError, match="empty pool"):
+            learner.query(np.empty((0, 2)))
+
+
+class TestTeach:
+    def test_teach_grows_labeled_set(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(), "uncertainty", X, y)
+        learner.teach(np.array([0.1, 0.1]), 0)
+        assert learner.n_labeled == 11
+        assert learner.y_labeled[-1] == 0
+
+    def test_teach_refits_model(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(), "uncertainty", X, y)
+        before = learner.model
+        learner.teach(np.array([0.0, 0.0]), 1)
+        assert learner.model is not before
+
+    def test_teach_feature_mismatch(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(LogisticRegression(), "uncertainty", X, y)
+        with pytest.raises(ValueError, match="features"):
+            learner.teach(np.ones(5), 0)
+
+    def test_refit_every_batches_refits(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(
+            LogisticRegression(), "uncertainty", X, y, refit_every=3
+        )
+        m0 = learner.model
+        learner.teach(np.zeros(2), 0)
+        learner.teach(np.zeros(2), 1)
+        assert learner.model is m0  # no refit yet
+        learner.teach(np.zeros(2), 0)
+        assert learner.model is not m0  # third teach triggers refit
+
+    def test_flush_forces_pending_refit(self):
+        X, y = _seed_data()
+        learner = ActiveLearner(
+            LogisticRegression(), "uncertainty", X, y, refit_every=10
+        )
+        m0 = learner.model
+        learner.teach(np.zeros(2), 0)
+        learner.flush()
+        assert learner.model is not m0
+
+    def test_new_class_via_teach_becomes_predictable(self):
+        """The ALBADross seed has no healthy samples; teaching the first
+        healthy sample must make 'healthy' a reachable prediction."""
+        X, y = _seed_data()
+        y = np.array(["membw"] * 5 + ["dial"] * 5)
+        learner = ActiveLearner(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            "uncertainty",
+            X,
+            y,
+        )
+        assert "healthy" not in learner.model.classes_
+        for _ in range(4):
+            learner.teach(np.array([10.0, 10.0]), "healthy")
+        assert "healthy" in learner.model.classes_
+        assert learner.predict(np.array([[10.0, 10.0]]))[0] == "healthy"
+
+
+class TestLearningProgress:
+    def test_uncertainty_labels_improve_model(self):
+        """Teaching true labels for queried points should not hurt accuracy."""
+        rng = np.random.default_rng(0)
+        X_pool = rng.uniform(-4, 4, size=(200, 2))
+        y_pool = (X_pool.sum(axis=1) > 0).astype(int)
+        X_seed, y_seed = _seed_data()
+        learner = ActiveLearner(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            "uncertainty",
+            X_seed,
+            y_seed,
+            random_state=0,
+        )
+        before = learner.score(X_pool, y_pool)
+        alive = np.arange(len(X_pool))
+        for _ in range(40):
+            i = learner.query(X_pool[alive])
+            learner.teach(X_pool[alive[i]], y_pool[alive[i]])
+            alive = np.delete(alive, i)
+        after = learner.score(X_pool, y_pool)
+        assert after >= before - 0.02
+        assert after > 0.88

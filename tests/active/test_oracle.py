@@ -1,0 +1,76 @@
+"""Tests for the annotator oracle."""
+
+import numpy as np
+import pytest
+
+from repro.active.oracle import Oracle
+
+Y = np.array(["healthy", "membw", "dial", "healthy", "memleak"])
+APPS = np.array(["CG", "BT", "CG", "Kripke", "BT"])
+
+
+class TestLabeling:
+    def test_returns_ground_truth(self):
+        oracle = Oracle(y_true=Y)
+        assert oracle.label(1) == "membw"
+        assert oracle.label(0) == "healthy"
+
+    def test_out_of_range_index(self):
+        oracle = Oracle(y_true=Y)
+        with pytest.raises(IndexError):
+            oracle.label(99)
+
+    def test_query_count(self):
+        oracle = Oracle(y_true=Y)
+        for i in range(3):
+            oracle.label(i)
+        assert oracle.n_queries == 3
+
+    def test_apps_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            Oracle(y_true=Y, apps=APPS[:2])
+
+
+class TestDrilldown:
+    def test_label_counts(self):
+        oracle = Oracle(y_true=Y)
+        for i in (0, 3, 1):
+            oracle.label(i)
+        counts = oracle.label_counts()
+        assert counts["healthy"] == 2 and counts["membw"] == 1
+
+    def test_app_counts(self):
+        oracle = Oracle(y_true=Y, apps=APPS)
+        for i in (0, 2, 4):
+            oracle.label(i)
+        counts = oracle.app_counts()
+        assert counts["CG"] == 2 and counts["BT"] == 1
+
+    def test_first_n_limits_window(self):
+        oracle = Oracle(y_true=Y)
+        for i in range(5):
+            oracle.label(i)
+        assert sum(oracle.label_counts(first_n=2).values()) == 2
+
+
+class TestNoise:
+    def test_invalid_noise_rate(self):
+        with pytest.raises(ValueError, match="noise_rate"):
+            Oracle(y_true=Y, noise_rate=1.0)
+
+    def test_zero_noise_is_exact(self):
+        oracle = Oracle(y_true=Y, noise_rate=0.0, random_state=0)
+        assert all(oracle.label(i) == Y[i] for i in range(len(Y)))
+
+    def test_full_ish_noise_flips_labels(self):
+        rng = np.random.default_rng(0)
+        y = np.array(["a", "b"] * 50)
+        oracle = Oracle(y_true=y, noise_rate=0.99, random_state=1)
+        answers = np.array([oracle.label(i) for i in range(100)])
+        assert np.mean(answers != y) > 0.9
+
+    def test_noise_rate_statistics(self):
+        y = np.array(["a", "b", "c"] * 100)
+        oracle = Oracle(y_true=y, noise_rate=0.3, random_state=2)
+        answers = np.array([oracle.label(i) for i in range(300)])
+        assert np.mean(answers != y) == pytest.approx(0.3, abs=0.08)

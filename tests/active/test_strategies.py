@@ -1,0 +1,125 @@
+"""Tests for query strategies — including the paper's Eq. 2 worked example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.active.strategies import (
+    entropy_sampling,
+    entropy_scores,
+    get_strategy,
+    margin_sampling,
+    margin_scores,
+    uncertainty_sampling,
+    uncertainty_scores,
+)
+
+# the paper's Eq. 2 class-probability example
+PAPER_PROBA = np.array(
+    [
+        [0.10, 0.85, 0.05],
+        [0.60, 0.30, 0.10],
+        [0.39, 0.61, 0.00],
+    ]
+)
+
+
+class _FixedModel:
+    def __init__(self, proba):
+        self._proba = np.asarray(proba)
+
+    def predict_proba(self, X):
+        return self._proba[: len(X)]
+
+
+class TestPaperExample:
+    def test_uncertainty_scores_match_eq1(self):
+        assert np.allclose(uncertainty_scores(PAPER_PROBA), [0.15, 0.40, 0.39])
+
+    def test_margin_scores_match_eq3(self):
+        assert np.allclose(margin_scores(PAPER_PROBA), [0.75, 0.30, 0.22])
+
+    def test_entropy_scores_match_eq4(self):
+        # the paper's H_list = [0.52, 0.90, 0.67] uses natural log
+        assert np.allclose(entropy_scores(PAPER_PROBA), [0.518, 0.898, 0.669], atol=1e-3)
+
+    def test_uncertainty_selects_second_sample(self):
+        model = _FixedModel(PAPER_PROBA)
+        assert uncertainty_sampling(model, np.zeros((3, 1))) == 1
+
+    def test_margin_selects_third_sample(self):
+        model = _FixedModel(PAPER_PROBA)
+        assert margin_sampling(model, np.zeros((3, 1))) == 2
+
+    def test_entropy_selects_max_entropy_sample(self):
+        model = _FixedModel(PAPER_PROBA)
+        assert entropy_sampling(model, np.zeros((3, 1))) == 1
+
+
+class TestEdgeCases:
+    def test_one_class_margin_well_defined(self):
+        proba = np.array([[1.0], [0.7]])
+        assert np.allclose(margin_scores(proba), [1.0, 0.7])
+
+    def test_zero_probabilities_in_entropy(self):
+        proba = np.array([[1.0, 0.0, 0.0]])
+        assert entropy_scores(proba)[0] == 0.0
+
+    def test_uniform_distribution_maximizes_entropy(self):
+        uniform = np.full((1, 4), 0.25)
+        peaked = np.array([[0.97, 0.01, 0.01, 0.01]])
+        assert entropy_scores(uniform)[0] > entropy_scores(peaked)[0]
+
+    def test_1d_proba_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            uncertainty_scores(np.array([0.5, 0.5]))
+
+    def test_get_strategy_lookup(self):
+        assert get_strategy("uncertainty") is uncertainty_sampling
+        assert get_strategy("margin") is margin_sampling
+        assert get_strategy("entropy") is entropy_sampling
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            get_strategy("oracle")
+
+    def test_tie_break_lowest_index(self):
+        proba = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert uncertainty_sampling(_FixedModel(proba), np.zeros((2, 1))) == 0
+
+
+class TestProperties:
+    @st.composite
+    def _proba_matrix(draw):
+        n = draw(st.integers(1, 12))
+        k = draw(st.integers(2, 6))
+        raw = draw(
+            st.lists(
+                st.lists(st.floats(0.01, 1.0), min_size=k, max_size=k),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        arr = np.array(raw)
+        return arr / arr.sum(axis=1, keepdims=True)
+
+    @given(proba=_proba_matrix())
+    @settings(max_examples=50, deadline=None)
+    def test_score_ranges(self, proba):
+        k = proba.shape[1]
+        u = uncertainty_scores(proba)
+        m = margin_scores(proba)
+        h = entropy_scores(proba)
+        assert np.all((u >= 0) & (u <= 1 - 1 / k + 1e-9))
+        assert np.all((m >= -1e-12) & (m <= 1 + 1e-9))
+        assert np.all((h >= -1e-12) & (h <= np.log(k) + 1e-9))
+
+    @given(proba=_proba_matrix())
+    @settings(max_examples=50, deadline=None)
+    def test_selections_agree_on_argbest(self, proba):
+        model = _FixedModel(proba)
+        X = np.zeros((len(proba), 1))
+        assert uncertainty_sampling(model, X) == int(np.argmax(uncertainty_scores(proba)))
+        assert margin_sampling(model, X) == int(np.argmin(margin_scores(proba)))
+        assert entropy_sampling(model, X) == int(np.argmax(entropy_scores(proba)))

@@ -1,0 +1,144 @@
+"""Tests for the HPAS-style anomaly injectors."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies.base import ECLIPSE_INTENSITIES, VOLTA_INTENSITIES, Anomaly
+from repro.anomalies.injectors import (
+    ANOMALIES,
+    CacheCopy,
+    CpuOccupy,
+    Dial,
+    MemBandwidth,
+    MemLeak,
+    get_anomaly,
+)
+from repro.telemetry.catalog import RESOURCE_DIMS
+
+D = len(RESOURCE_DIMS)
+
+
+def _flat_demand(T=200, level=0.4):
+    return np.full((T, D), level)
+
+
+def _dim(name):
+    return RESOURCE_DIMS.index(name)
+
+
+class TestSuite:
+    def test_paper_anomaly_set(self):
+        assert set(ANOMALIES) == {"cpuoccupy", "cachecopy", "membw", "memleak", "dial"}
+
+    def test_paper_intensity_grids(self):
+        assert VOLTA_INTENSITIES == (0.02, 0.05, 0.10, 0.20, 0.50, 1.00)
+        assert len(ECLIPSE_INTENSITIES) in (2, 3)
+
+    def test_lookup(self):
+        assert get_anomaly("membw").name == "membw"
+        with pytest.raises(ValueError, match="unknown anomaly"):
+            get_anomaly("gremlins")
+
+    def test_base_perturbation_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Anomaly().perturbation(10, 0.5, np.random.default_rng(0))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", sorted(ANOMALIES))
+    def test_intensity_range(self, name):
+        with pytest.raises(ValueError, match="intensity"):
+            get_anomaly(name).inject(_flat_demand(), intensity=0.0, rng=0)
+        with pytest.raises(ValueError, match="intensity"):
+            get_anomaly(name).inject(_flat_demand(), intensity=1.5, rng=0)
+
+    def test_demand_shape(self):
+        with pytest.raises(ValueError, match="demand"):
+            CpuOccupy().inject(np.ones((10, D + 1)), intensity=0.5, rng=0)
+
+    @pytest.mark.parametrize("name", sorted(ANOMALIES))
+    def test_output_nonnegative_and_same_shape(self, name):
+        demand = _flat_demand()
+        out = get_anomaly(name).inject(demand, intensity=0.5, rng=0)
+        assert out.shape == demand.shape
+        assert np.all(out >= 0)
+
+
+class TestDirections:
+    def test_cpuoccupy_raises_cpu(self):
+        demand = _flat_demand()
+        out = CpuOccupy().inject(demand, intensity=1.0, rng=0)
+        assert out[:, _dim("cpu")].mean() > demand[:, _dim("cpu")].mean() + 0.5
+
+    def test_cachecopy_raises_cache_most(self):
+        demand = _flat_demand()
+        out = CacheCopy().inject(demand, intensity=1.0, rng=0)
+        delta = out.mean(axis=0) - demand.mean(axis=0)
+        assert np.argmax(delta) == _dim("cache")
+
+    def test_membw_raises_membw_most(self):
+        demand = _flat_demand()
+        out = MemBandwidth().inject(demand, intensity=1.0, rng=0)
+        delta = out.mean(axis=0) - demand.mean(axis=0)
+        assert np.argmax(delta) == _dim("membw")
+
+    def test_memleak_ramps_memory(self):
+        demand = _flat_demand(T=300)
+        out = MemLeak().inject(demand, intensity=1.0, rng=0)
+        mem = out[:, _dim("mem")]
+        first, last = mem[:50].mean(), mem[-50:].mean()
+        assert last > first + 0.5  # strong upward ramp
+
+    def test_dial_lowers_cpu(self):
+        demand = _flat_demand()
+        out = Dial().inject(demand, intensity=1.0, rng=0)
+        assert out[:, _dim("cpu")].mean() < demand[:, _dim("cpu")].mean() * 0.7
+
+    def test_dial_leaves_mem_level_alone(self):
+        demand = _flat_demand()
+        out = Dial().inject(demand, intensity=1.0, rng=0)
+        assert np.allclose(out[:, _dim("mem")], demand[:, _dim("mem")])
+
+
+class TestDutyCycle:
+    def test_intensity_controls_active_fraction(self):
+        demand = np.zeros((2000, D))
+        rng = np.random.default_rng(0)
+        out = CpuOccupy().inject(demand, intensity=0.2, rng=rng)
+        active = out[:, _dim("cpu")] > 0.3
+        assert active.mean() == pytest.approx(0.2, abs=0.06)
+
+    def test_full_intensity_always_active(self):
+        demand = np.zeros((200, D))
+        out = MemBandwidth().inject(demand, intensity=1.0, rng=0)
+        assert np.all(out[:, _dim("membw")] > 0.5)
+
+    def test_low_intensity_mostly_inactive(self):
+        demand = np.zeros((2000, D))
+        out = CacheCopy().inject(demand, intensity=0.02, rng=0)
+        active = out[:, _dim("cache")] > 0.3
+        assert active.mean() < 0.1
+
+    def test_higher_intensity_bigger_average_footprint(self):
+        demand = _flat_demand(T=1000)
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        weak = CpuOccupy().inject(demand, intensity=0.05, rng=rng1)
+        strong = CpuOccupy().inject(demand, intensity=0.5, rng=rng2)
+        assert strong[:, _dim("cpu")].mean() > weak[:, _dim("cpu")].mean()
+
+
+class TestStochasticity:
+    @pytest.mark.parametrize("name", sorted(ANOMALIES))
+    def test_repeated_injections_differ(self, name):
+        demand = _flat_demand()
+        rng = np.random.default_rng(0)
+        a = get_anomaly(name).inject(demand, intensity=0.5, rng=rng)
+        b = get_anomaly(name).inject(demand, intensity=0.5, rng=rng)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(ANOMALIES))
+    def test_seeded_injections_reproduce(self, name):
+        demand = _flat_demand()
+        a = get_anomaly(name).inject(demand, intensity=0.5, rng=42)
+        b = get_anomaly(name).inject(demand, intensity=0.5, rng=42)
+        assert np.array_equal(a, b)

@@ -1,0 +1,68 @@
+"""Tests for Eclipse's production-system overrides and app structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.eclipse_apps import ECLIPSE_APPS
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.telemetry.catalog import RESOURCE_DIMS
+
+
+class TestProductionOverrides:
+    def test_noise_burst_rate_exceeds_volta(self):
+        for name, app in ECLIPSE_APPS.items():
+            assert app.noise_burst_rate > max(
+                a.noise_burst_rate for a in VOLTA_APPS.values()
+            ) - 1e-9, name
+
+    def test_input_mix_strength_exceeds_volta(self):
+        eclipse_mix = {a.input_mix_strength for a in ECLIPSE_APPS.values()}
+        volta_mix = {a.input_mix_strength for a in VOLTA_APPS.values()}
+        assert min(eclipse_mix) > max(volta_mix)
+
+    def test_every_eclipse_app_got_overrides(self):
+        strengths = {a.input_mix_strength for a in ECLIPSE_APPS.values()}
+        assert strengths == {0.35}
+
+
+class TestProxyParentConfusability:
+    """The ECP proxies deliberately shadow their parent application."""
+
+    @pytest.mark.parametrize(
+        "proxy,parent", [("ExaMiniMD", "LAMMPS"), ("sw4lite", "sw4")]
+    )
+    def test_proxy_profile_close_to_parent(self, proxy, parent):
+        def steady_profile(app):
+            tl = app.demand_timeline(400, input_deck=0, rng=np.random.default_rng(0))
+            return tl[50:350].mean(axis=0)
+
+        proxy_profile = steady_profile(ECLIPSE_APPS[proxy])
+        parent_profile = steady_profile(ECLIPSE_APPS[parent])
+        # the proxy must sit closer to its parent than to any other app
+        d_parent = np.linalg.norm(proxy_profile - parent_profile)
+        for other_name, other in ECLIPSE_APPS.items():
+            if other_name in (proxy, parent):
+                continue
+            d_other = np.linalg.norm(proxy_profile - steady_profile(other))
+            assert d_parent < d_other + 0.25, (proxy, other_name)
+
+
+class TestEclipsePhaseStructure:
+    def test_real_apps_have_richer_phase_programs(self):
+        for name in ("LAMMPS", "HACC", "sw4"):
+            assert len(ECLIPSE_APPS[name].phases) >= 5, name
+
+    def test_io_phases_present(self):
+        """Checkpoints/dumps: every real app must touch the filesystem."""
+        io = RESOURCE_DIMS.index("io")
+        for name in ("LAMMPS", "HACC", "sw4"):
+            app = ECLIPSE_APPS[name]
+            assert any(p.demand[io] > 0.3 for p in app.phases), name
+
+    def test_node_scaling_affects_network(self):
+        app = ECLIPSE_APPS["HACC"]
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        few = app.demand_timeline(200, node_count=4, rng=rng1)
+        many = app.demand_timeline(200, node_count=16, rng=rng2)
+        net = RESOURCE_DIMS.index("net")
+        assert many[:, net].mean() > few[:, net].mean()

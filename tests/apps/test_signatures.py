@@ -1,0 +1,141 @@
+"""Tests for application workload signatures."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppSignature, Phase, demand_vector
+from repro.apps.eclipse_apps import ECLIPSE_APPS, eclipse_app
+from repro.apps.volta_apps import VOLTA_APPS, volta_app
+from repro.telemetry.catalog import RESOURCE_DIMS
+
+D = len(RESOURCE_DIMS)
+
+
+class TestDemandVector:
+    def test_sets_named_dims(self):
+        v = demand_vector(cpu=0.5, net=0.2)
+        assert v[RESOURCE_DIMS.index("cpu")] == 0.5
+        assert v[RESOURCE_DIMS.index("net")] == 0.2
+        assert v.sum() == pytest.approx(0.7)
+
+    def test_unknown_dim(self):
+        with pytest.raises(ValueError, match="unknown resource dim"):
+            demand_vector(gpu=1.0)
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            Phase("p", 0.0, demand_vector(cpu=1.0))
+        with pytest.raises(ValueError, match="osc_period"):
+            Phase("p", 1.0, demand_vector(cpu=1.0), osc_period=0)
+        with pytest.raises(ValueError, match="shape"):
+            Phase("p", 1.0, np.zeros(2))
+
+
+class TestCatalogs:
+    def test_paper_table1_apps(self):
+        assert set(VOLTA_APPS) == {
+            "BT", "CG", "FT", "LU", "MG", "SP",
+            "MiniMD", "CoMD", "MiniGhost", "MiniAMR", "Kripke",
+        }
+
+    def test_paper_table2_apps(self):
+        assert set(ECLIPSE_APPS) == {
+            "LAMMPS", "HACC", "sw4", "ExaMiniMD", "SWFFT", "sw4lite",
+        }
+
+    def test_lookup_helpers(self):
+        assert volta_app("CG").name == "CG"
+        assert eclipse_app("HACC").name == "HACC"
+        with pytest.raises(ValueError, match="unknown Volta app"):
+            volta_app("nope")
+        with pytest.raises(ValueError, match="unknown Eclipse app"):
+            eclipse_app("nope")
+
+    def test_three_input_decks_everywhere(self):
+        for app in list(VOLTA_APPS.values()) + list(ECLIPSE_APPS.values()):
+            assert app.n_inputs == 3
+
+    def test_confusable_apps_have_high_variation(self):
+        """Kripke / MiniMD / MiniAMR are the paper's most-queried healthy apps."""
+        confusable = [VOLTA_APPS[n].run_variation for n in ("Kripke", "MiniMD", "MiniAMR")]
+        others = [VOLTA_APPS[n].run_variation for n in ("BT", "CG", "LU", "SP")]
+        assert min(confusable) > max(others)
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def cg(self):
+        return VOLTA_APPS["CG"]
+
+    def test_shape_and_nonnegativity(self, cg):
+        tl = cg.demand_timeline(100, rng=0)
+        assert tl.shape == (100, D)
+        assert np.all(tl >= 0)
+
+    def test_exact_duration_for_awkward_lengths(self, cg):
+        for T in (37, 64, 101, 250):
+            assert cg.demand_timeline(T, rng=0).shape[0] == T
+
+    def test_input_decks_shift_the_signature(self, cg):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        a = cg.demand_timeline(200, input_deck=0, rng=rng1)
+        b = cg.demand_timeline(200, input_deck=1, rng=rng2)
+        # decks differ in per-dimension mix, not just overall level
+        mix_a = a[100:150].mean(axis=0)
+        mix_b = b[100:150].mean(axis=0)
+        assert np.linalg.norm(mix_a - mix_b) > 0.05
+
+    def test_deck_mix_is_deterministic(self, cg):
+        a = cg.demand_timeline(100, input_deck=2, rng=np.random.default_rng(7))
+        b = cg.demand_timeline(100, input_deck=2, rng=np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_invalid_input_deck(self, cg):
+        with pytest.raises(ValueError, match="input_deck"):
+            cg.demand_timeline(50, input_deck=7, rng=0)
+
+    def test_invalid_node_count(self, cg):
+        with pytest.raises(ValueError, match="node_count"):
+            cg.demand_timeline(50, node_count=0, rng=0)
+
+    def test_too_short_duration(self, cg):
+        with pytest.raises(ValueError, match="shorter"):
+            cg.demand_timeline(2, rng=0)
+
+    def test_more_nodes_more_network(self, cg):
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        few = cg.demand_timeline(150, node_count=2, rng=rng1)
+        many = cg.demand_timeline(150, node_count=16, rng=rng2)
+        net = RESOURCE_DIMS.index("net")
+        assert many[:, net].mean() > few[:, net].mean()
+
+    def test_apps_are_distinguishable_in_demand_space(self):
+        """Mean demand profiles of different apps must differ clearly."""
+        profiles = {}
+        for name in ("CG", "BT", "FT", "MiniGhost"):
+            tl = VOLTA_APPS[name].demand_timeline(300, rng=0)
+            profiles[name] = tl[30:270].mean(axis=0)  # steady region
+        names = list(profiles)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                dist = np.linalg.norm(profiles[a] - profiles[b])
+                assert dist > 0.1, (a, b)
+
+    def test_oscillation_present_in_compute_phase(self, cg):
+        tl = cg.demand_timeline(400, rng=3)
+        cpu = tl[50:350, RESOURCE_DIMS.index("membw")]
+        # spectral peak away from DC for an oscillating phase
+        spectrum = np.abs(np.fft.rfft(cpu - cpu.mean()))
+        assert spectrum[1:].max() > 3 * spectrum[1:].mean()
+
+    def test_run_variation_changes_between_runs(self, cg):
+        rng = np.random.default_rng(4)
+        a = cg.demand_timeline(100, rng=rng)
+        b = cg.demand_timeline(100, rng=rng)
+        assert not np.allclose(a, b)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            AppSignature(name="x", phases=())

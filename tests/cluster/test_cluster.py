@@ -1,0 +1,162 @@
+"""Tests for the multi-node cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import get_anomaly
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.cluster import ClusterSim, Job
+from repro.telemetry.catalog import RESOURCE_DIMS, build_catalog
+from repro.telemetry.node import VOLTA_NODE
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return ClusterSim(
+        catalog=build_catalog(n_cores=2, n_nics=1, n_extra_cray=4),
+        node_profile=VOLTA_NODE,
+        n_nodes=8,
+        missing_rate=0.0,
+    )
+
+
+class TestJob:
+    def test_validation(self):
+        app = VOLTA_APPS["CG"]
+        with pytest.raises(ValueError, match="node_count"):
+            Job(app=app, node_count=0)
+        with pytest.raises(ValueError, match="duration"):
+            Job(app=app, duration=2)
+        with pytest.raises(ValueError, match="input_deck"):
+            Job(app=app, input_deck=9)
+        with pytest.raises(ValueError, match="intensity"):
+            Job(app=app, anomaly=get_anomaly("membw"), intensity=0.0)
+
+    def test_label_map_healthy_job(self):
+        job = Job(app=VOLTA_APPS["CG"], node_count=4)
+        assert set(job.label_for_node.values()) == {"healthy"}
+
+    def test_label_map_anomalous_job(self):
+        job = Job(
+            app=VOLTA_APPS["CG"], node_count=4,
+            anomaly=get_anomaly("membw"), intensity=0.5,
+        )
+        labels = job.label_for_node
+        assert labels[0] == "membw"
+        assert all(labels[r] == "healthy" for r in range(1, 4))
+
+
+class TestScheduling:
+    def test_job_too_large_rejected(self, sim):
+        with pytest.raises(ValueError, match="cluster has"):
+            sim.run_job(Job(app=VOLTA_APPS["CG"], node_count=99), rng=0)
+
+    def test_allocation_cycles_through_pool(self):
+        sim = ClusterSim(
+            catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+            node_profile=VOLTA_NODE,
+            n_nodes=6,
+            missing_rate=0.0,
+        )
+        a = sim.run_job(Job(app=VOLTA_APPS["CG"], node_count=4, duration=32), rng=0)
+        b = sim.run_job(Job(app=VOLTA_APPS["BT"], node_count=4, duration=32), rng=1)
+        ids_a = [r.node_id for r in a]
+        ids_b = [r.node_id for r in b]
+        assert ids_a == [0, 1, 2, 3]
+        assert ids_b == [4, 5, 0, 1]  # wraps around the pool
+
+    def test_utilization_history(self):
+        sim = ClusterSim(
+            catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+            node_profile=VOLTA_NODE,
+            n_nodes=4,
+            missing_rate=0.0,
+        )
+        sim.run_job(Job(app=VOLTA_APPS["CG"], node_count=2, duration=32), rng=0)
+        sim.run_job(Job(app=VOLTA_APPS["CG"], node_count=2, duration=32), rng=0)
+        counts = sim.utilization_history
+        assert counts[0] == 1 and counts[2] == 1
+        assert sum(counts.values()) == 4
+
+
+class TestPerNodeRecords:
+    def test_one_record_per_node(self, sim):
+        records = sim.run_job(
+            Job(app=VOLTA_APPS["CG"], node_count=4, duration=64), rng=0
+        )
+        assert len(records) == 4
+        assert all(r.data.shape[0] == 64 for r in records)
+
+    def test_anomalous_job_labels_first_node_only(self, sim):
+        records = sim.run_job(
+            Job(
+                app=VOLTA_APPS["CG"], node_count=4, duration=64,
+                anomaly=get_anomaly("cpuoccupy"), intensity=1.0,
+            ),
+            rng=0,
+        )
+        assert records[0].label == "cpuoccupy"
+        assert records[0].intensity == 1.0
+        assert all(r.label == "healthy" for r in records[1:])
+        assert all(r.intensity == 0.0 for r in records[1:])
+
+    def test_anomalous_node_telemetry_differs_from_siblings(self, sim):
+        records = sim.run_job(
+            Job(
+                app=VOLTA_APPS["CG"], node_count=3, duration=128,
+                anomaly=get_anomaly("cpuoccupy"), intensity=1.0,
+            ),
+            rng=5,
+        )
+        i = records[0].metric_names.index("procstat.cpu0.user")
+        rate0 = np.diff(records[0].data[:, i]).mean()
+        rate1 = np.diff(records[1].data[:, i]).mean()
+        assert rate0 > rate1 * 1.15
+
+    def test_sibling_nodes_are_correlated_but_distinct(self, sim):
+        records = sim.run_job(
+            Job(app=VOLTA_APPS["CG"], node_count=3, duration=96), rng=2
+        )
+        a, b = records[1].data, records[2].data
+        assert not np.array_equal(a, b)
+        # same workload: column means stay close
+        rel = np.abs(a.mean(0) - b.mean(0)) / (np.abs(a.mean(0)) + 1e-9)
+        assert np.median(rel) < 0.2
+
+    def test_rank0_has_more_io(self, sim):
+        records = sim.run_job(
+            Job(app=VOLTA_APPS["CG"], node_count=4, duration=128), rng=3
+        )
+        i = records[0].metric_names.index("lustre.write_bytes")
+        io0 = np.diff(records[0].data[:, i]).mean()
+        io2 = np.diff(records[2].data[:, i]).mean()
+        assert io0 > io2
+
+
+class TestCampaign:
+    def test_flat_record_list(self, sim):
+        jobs = [
+            Job(app=VOLTA_APPS["CG"], node_count=2, duration=32),
+            Job(
+                app=VOLTA_APPS["BT"], node_count=3, duration=32,
+                anomaly=get_anomaly("memleak"), intensity=0.5,
+            ),
+        ]
+        records = sim.run_campaign(jobs, rng=0)
+        assert len(records) == 5
+        labels = [r.label for r in records]
+        assert labels.count("memleak") == 1
+        assert labels.count("healthy") == 4
+
+    def test_campaign_reproducible(self):
+        def fresh():
+            return ClusterSim(
+                catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+                node_profile=VOLTA_NODE,
+                n_nodes=4,
+                missing_rate=0.0,
+            )
+        jobs = [Job(app=VOLTA_APPS["CG"], node_count=2, duration=32)]
+        a = fresh().run_campaign(jobs, rng=7)
+        b = fresh().run_campaign(jobs, rng=7)
+        assert np.array_equal(a[0].data, b[0].data)

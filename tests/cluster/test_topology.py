@@ -1,0 +1,154 @@
+"""Tests for switch topology and neighbor-job contention."""
+
+import numpy as np
+import pytest
+
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.cluster import ClusterSim, Job
+from repro.cluster.topology import (
+    VOLTA_TOPOLOGY,
+    SwitchTopology,
+    contention_factors,
+)
+from repro.telemetry.catalog import build_catalog
+from repro.telemetry.node import VOLTA_NODE
+
+
+class TestSwitchTopology:
+    def test_volta_layout(self):
+        """Paper: 52 nodes in 13 switches of 4."""
+        assert VOLTA_TOPOLOGY.n_nodes == 52
+        assert VOLTA_TOPOLOGY.n_switches == 13
+        assert VOLTA_TOPOLOGY.switch_of(0) == 0
+        assert VOLTA_TOPOLOGY.switch_of(51) == 12
+
+    def test_neighbors(self):
+        topo = SwitchTopology(n_nodes=8, nodes_per_switch=4)
+        assert topo.neighbors(0) == [1, 2, 3]
+        assert topo.neighbors(5) == [4, 6, 7]
+
+    def test_partial_last_switch(self):
+        topo = SwitchTopology(n_nodes=6, nodes_per_switch=4)
+        assert topo.n_switches == 2
+        assert topo.neighbors(5) == [4]
+
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            VOLTA_TOPOLOGY.switch_of(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(n_nodes=0)
+        with pytest.raises(ValueError):
+            SwitchTopology(n_nodes=4, switch_bandwidth=0.0)
+
+
+class TestContentionFactors:
+    def test_uncontended_switch_is_unity(self):
+        topo = SwitchTopology(n_nodes=8, nodes_per_switch=4, switch_bandwidth=2.0)
+        factors = contention_factors(topo, {0: 0.5, 1: 0.5})
+        assert factors == {0: 1.0, 1: 1.0}
+
+    def test_oversubscribed_switch_shares_proportionally(self):
+        topo = SwitchTopology(n_nodes=4, nodes_per_switch=4, switch_bandwidth=2.0)
+        factors = contention_factors(topo, {0: 2.0, 1: 2.0})
+        assert factors[0] == pytest.approx(0.5)
+        assert factors[1] == pytest.approx(0.5)
+
+    def test_contention_is_switch_local(self):
+        topo = SwitchTopology(n_nodes=8, nodes_per_switch=4, switch_bandwidth=1.0)
+        factors = contention_factors(topo, {0: 3.0, 4: 0.2})
+        assert factors[0] < 0.5
+        assert factors[4] == 1.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            contention_factors(VOLTA_TOPOLOGY, {0: -1.0})
+
+
+class TestConcurrentExecution:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return ClusterSim(
+            catalog=build_catalog(n_cores=2, n_nics=1, n_extra_cray=4),
+            node_profile=VOLTA_NODE,
+            n_nodes=8,
+            missing_rate=0.0,
+            topology=SwitchTopology(
+                n_nodes=8, nodes_per_switch=4, switch_bandwidth=1.2
+            ),
+        )
+
+    def test_requires_topology(self):
+        sim = ClusterSim(
+            catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+            node_profile=VOLTA_NODE,
+            n_nodes=4,
+            missing_rate=0.0,
+        )
+        with pytest.raises(RuntimeError, match="SwitchTopology"):
+            sim.run_concurrent([Job(app=VOLTA_APPS["CG"], node_count=2, duration=32)])
+
+    def test_mismatched_durations_rejected(self, sim):
+        jobs = [
+            Job(app=VOLTA_APPS["CG"], node_count=2, duration=32),
+            Job(app=VOLTA_APPS["BT"], node_count=2, duration=64),
+        ]
+        with pytest.raises(ValueError, match="share a duration"):
+            sim.run_concurrent(jobs)
+
+    def test_too_many_nodes_rejected(self, sim):
+        jobs = [Job(app=VOLTA_APPS["CG"], node_count=5, duration=32)] * 2
+        with pytest.raises(ValueError, match="concurrent batch"):
+            sim.run_concurrent(jobs)
+
+    def test_empty_batch(self, sim):
+        assert sim.run_concurrent([]) == []
+
+    def test_records_for_all_jobs(self, sim):
+        jobs = [
+            Job(app=VOLTA_APPS["CG"], node_count=4, duration=64),
+            Job(app=VOLTA_APPS["MiniGhost"], node_count=4, duration=64),
+        ]
+        records = sim.run_concurrent(jobs, rng=0)
+        assert len(records) == 8
+        assert {r.app for r in records} == {"CG", "MiniGhost"}
+
+    def test_neighbor_contention_reduces_network_activity(self):
+        """A comm-heavy neighbor job must depress this job's net telemetry
+        compared to running alone on the same switch."""
+        def fresh(topology):
+            return ClusterSim(
+                catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+                node_profile=VOLTA_NODE,
+                n_nodes=4,
+                missing_rate=0.0,
+                topology=topology,
+            )
+        topo = SwitchTopology(n_nodes=4, nodes_per_switch=4, switch_bandwidth=0.8)
+        quiet_job = Job(app=VOLTA_APPS["CG"], node_count=2, duration=256)
+        noisy_neighbor = Job(app=VOLTA_APPS["MiniGhost"], node_count=2, duration=256)
+
+        alone = fresh(topo).run_concurrent([quiet_job], rng=3)
+        crowded = fresh(topo).run_concurrent([quiet_job, noisy_neighbor], rng=3)
+
+        name = "procnetdev.ipogif0.rx_packets"
+        i = alone[0].metric_names.index(name)
+        rate_alone = np.diff(alone[0].data[:, i]).mean()
+        rate_crowded = np.diff(crowded[0].data[:, i]).mean()
+        assert rate_crowded < rate_alone
+
+    def test_anomaly_still_on_first_node(self, sim):
+        from repro.anomalies import get_anomaly
+
+        jobs = [
+            Job(
+                app=VOLTA_APPS["CG"], node_count=3, duration=64,
+                anomaly=get_anomaly("membw"), intensity=0.5,
+            ),
+            Job(app=VOLTA_APPS["BT"], node_count=3, duration=64),
+        ]
+        records = sim.run_concurrent(jobs, rng=1)
+        labels = [r.label for r in records]
+        assert labels[0] == "membw"
+        assert labels.count("healthy") == 5

@@ -1,0 +1,110 @@
+"""Tests for the production workload generator."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.cluster.workload import WorkloadSpec, generate_stream
+
+
+@pytest.fixture(scope="module")
+def spec():
+    apps = {k: VOLTA_APPS[k] for k in ("CG", "BT", "Kripke")}
+    return WorkloadSpec(apps=apps, duration=96, anomaly_rate=0.2)
+
+
+class TestSpecValidation:
+    def test_needs_apps(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkloadSpec(apps={})
+
+    def test_anomaly_rate_range(self):
+        with pytest.raises(ValueError, match="anomaly_rate"):
+            WorkloadSpec(apps={"CG": VOLTA_APPS["CG"]}, anomaly_rate=1.0)
+
+    def test_unknown_app_weight(self):
+        with pytest.raises(ValueError, match="unknown apps"):
+            WorkloadSpec(apps={"CG": VOLTA_APPS["CG"]}, app_weights={"HAL": 1.0})
+
+    def test_unknown_anomaly_weight(self):
+        with pytest.raises(ValueError, match="unknown anomalies"):
+            WorkloadSpec(
+                apps={"CG": VOLTA_APPS["CG"]}, anomaly_weights={"gremlin": 1.0}
+            )
+
+    def test_node_weight_length(self):
+        with pytest.raises(ValueError, match="node_count_weights"):
+            WorkloadSpec(
+                apps={"CG": VOLTA_APPS["CG"]},
+                node_counts=(4, 8),
+                node_count_weights=(1.0,),
+            )
+
+
+class TestStream:
+    def test_count_and_types(self, spec):
+        jobs = generate_stream(spec, 50, rng=0)
+        assert len(jobs) == 50
+        assert {j.app.name for j in jobs} <= {"CG", "BT", "Kripke"}
+
+    def test_negative_count(self, spec):
+        with pytest.raises(ValueError, match="n_jobs"):
+            generate_stream(spec, -1)
+
+    def test_anomaly_rate_respected(self, spec):
+        jobs = generate_stream(spec, 2000, rng=1)
+        rate = sum(1 for j in jobs if j.anomaly is not None) / len(jobs)
+        assert rate == pytest.approx(0.2, abs=0.03)
+
+    def test_app_weights_respected(self):
+        apps = {k: VOLTA_APPS[k] for k in ("CG", "BT")}
+        spec = WorkloadSpec(
+            apps=apps, app_weights={"CG": 3.0, "BT": 1.0}, duration=96
+        )
+        jobs = generate_stream(spec, 2000, rng=2)
+        counts = Counter(j.app.name for j in jobs)
+        assert counts["CG"] / counts["BT"] == pytest.approx(3.0, rel=0.25)
+
+    def test_node_count_distribution(self):
+        spec = WorkloadSpec(
+            apps={"CG": VOLTA_APPS["CG"]},
+            node_counts=(4, 8, 16),
+            node_count_weights=(0.7, 0.2, 0.1),
+            duration=96,
+        )
+        jobs = generate_stream(spec, 2000, rng=3)
+        counts = Counter(j.node_count for j in jobs)
+        assert counts[4] / len(jobs) == pytest.approx(0.7, abs=0.05)
+
+    def test_input_decks_cover_range(self, spec):
+        decks = {j.input_deck for j in generate_stream(spec, 300, rng=4)}
+        assert decks == {0, 1, 2}
+
+    def test_intensities_from_grid(self, spec):
+        jobs = generate_stream(spec, 500, rng=5)
+        intensities = {j.intensity for j in jobs if j.anomaly is not None}
+        assert intensities <= set(spec.intensities)
+
+    def test_reproducible(self, spec):
+        a = generate_stream(spec, 30, rng=9)
+        b = generate_stream(spec, 30, rng=9)
+        assert [(j.app.name, j.input_deck, j.intensity) for j in a] == [
+            (j.app.name, j.input_deck, j.intensity) for j in b
+        ]
+
+    def test_stream_runs_on_cluster(self, spec):
+        from repro.cluster import ClusterSim
+        from repro.telemetry.catalog import build_catalog
+        from repro.telemetry.node import VOLTA_NODE
+
+        sim = ClusterSim(
+            catalog=build_catalog(n_cores=1, n_nics=1, n_extra_cray=4),
+            node_profile=VOLTA_NODE,
+            n_nodes=16,
+            missing_rate=0.0,
+        )
+        jobs = generate_stream(spec, 5, rng=6)
+        records = sim.run_campaign(jobs, rng=0)
+        assert len(records) == sum(j.node_count for j in jobs)

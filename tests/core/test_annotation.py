@@ -1,0 +1,141 @@
+"""Tests for annotator assistance (metric highlighting + session)."""
+
+import numpy as np
+import pytest
+
+from repro.active.learner import ActiveLearner
+from repro.anomalies import get_anomaly
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.core.annotation import AnnotationSession, MetricHighlighter
+from repro.features.pipeline import FeatureExtractor
+from repro.mlcore.forest import RandomForestClassifier
+from repro.telemetry.catalog import build_catalog
+from repro.telemetry.collector import Collector
+from repro.telemetry.node import VOLTA_NODE
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = build_catalog(n_cores=2, n_nics=1, n_extra_cray=4)
+    collector = Collector(catalog, VOLTA_NODE, missing_rate=0.0)
+    rng = np.random.default_rng(0)
+    healthy = [
+        collector.collect(VOLTA_APPS["CG"], 0, 128, rng=rng) for _ in range(6)
+    ]
+    anomalous = [
+        collector.collect(
+            VOLTA_APPS["CG"], 0, 128,
+            anomaly=get_anomaly("membw"), intensity=1.0, rng=rng,
+        )
+        for _ in range(3)
+    ]
+    return catalog, collector, healthy, anomalous
+
+
+class TestMetricHighlighter:
+    def test_needs_two_healthy_runs(self, setup):
+        catalog, _, healthy, _ = setup
+        with pytest.raises(ValueError, match="at least 2"):
+            MetricHighlighter(catalog).fit(healthy[:1])
+
+    def test_explain_before_fit(self, setup):
+        catalog, _, _, anomalous = setup
+        with pytest.raises(RuntimeError, match="fit"):
+            MetricHighlighter(catalog).explain(anomalous[0])
+
+    def test_top_k_respected(self, setup):
+        catalog, _, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog, top_k=3).fit(healthy)
+        assert len(hl.explain(anomalous[0])) == 3
+
+    def test_ranked_by_severity(self, setup):
+        catalog, _, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog, top_k=5).fit(healthy)
+        devs = hl.explain(anomalous[0])
+        scores = [d.score for d in devs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_membw_anomaly_highlights_membw_coupled_metric(self, setup):
+        """A membw anomaly must surface a membw-coupled metric in the top-k."""
+        catalog, _, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog, top_k=8).fit(healthy)
+        top = {d.metric for d in hl.explain(anomalous[0])}
+        membw_coupled = {"vmstat.numa_hit", "vmstat.numa_miss", "vmstat.numa_local",
+                         "cray.WB_misses", "cray.stalls"}
+        assert top & membw_coupled
+
+    def test_healthy_runs_score_lower_than_anomalous_on_average(self, setup):
+        catalog, collector, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog, top_k=6).fit(healthy[:5])
+        rng = np.random.default_rng(9)
+        fresh_healthy = [
+            collector.collect(VOLTA_APPS["CG"], 0, 128, rng=rng) for _ in range(4)
+        ]
+        h_severity = np.median([hl.severity(r) for r in fresh_healthy])
+        a_severity = np.median([hl.severity(r) for r in anomalous])
+        assert a_severity > h_severity
+
+    def test_severity_is_capped(self, setup):
+        catalog, collector, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog, top_k=3).fit(healthy[:5])
+        assert hl.severity(anomalous[0]) <= MetricHighlighter.Z_CAP
+
+    def test_invalid_top_k(self, setup):
+        catalog, *_ = setup
+        with pytest.raises(ValueError, match="top_k"):
+            MetricHighlighter(catalog, top_k=0)
+
+
+class TestAnnotationSession:
+    def test_session_queries_and_teaches(self, setup):
+        catalog, collector, healthy, anomalous = setup
+        extractor = FeatureExtractor(catalog, method="mvts")
+        corpus = healthy + anomalous
+        ds = extractor.fit_transform(corpus)
+        featurize = lambda run: extractor.transform([run]).X[0]
+
+        learner = ActiveLearner(
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            "uncertainty",
+            ds.X[[0, 6]],
+            np.array(["healthy", "membw"]),
+        )
+        hl = MetricHighlighter(catalog, top_k=3).fit(healthy)
+        seen_cards = []
+
+        def annotator(card, run):
+            seen_cards.append(card)
+            return run.label
+
+        session = AnnotationSession(learner, hl, featurize, annotator)
+        pool = healthy[1:5] + anomalous[1:]
+        answers = session.run(pool, n_queries=3)
+
+        assert len(answers) == 3
+        assert learner.n_labeled == 5
+        assert len(session.cards) == 3
+        assert "model guess" in seen_cards[0]
+        assert "deviating metrics" in seen_cards[0]
+
+    def test_budget_bounded_by_pool(self, setup):
+        catalog, collector, healthy, anomalous = setup
+        extractor = FeatureExtractor(catalog, method="mvts")
+        extractor.fit_transform(healthy + anomalous)
+        featurize = lambda run: extractor.transform([run]).X[0]
+        learner = ActiveLearner(
+            RandomForestClassifier(n_estimators=3, random_state=0),
+            "uncertainty",
+            np.vstack([featurize(healthy[0]), featurize(anomalous[0])]),
+            np.array(["healthy", "membw"]),
+        )
+        hl = MetricHighlighter(catalog).fit(healthy)
+        session = AnnotationSession(learner, hl, featurize, lambda c, r: r.label)
+        answers = session.run(healthy[1:3], n_queries=10)
+        assert len(answers) == 2
+
+    def test_negative_budget(self, setup):
+        catalog, _, healthy, anomalous = setup
+        hl = MetricHighlighter(catalog).fit(healthy)
+        session = AnnotationSession(None, hl, None, None)
+        with pytest.raises(ValueError, match="n_queries"):
+            session.run([], n_queries=-1)

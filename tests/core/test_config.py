@@ -1,0 +1,62 @@
+"""Tests for FrameworkConfig and model defaults."""
+
+import pytest
+
+from repro.core.config import MODEL_FAMILIES, FrameworkConfig, default_model_params
+
+
+class TestDefaults:
+    def test_all_families_have_defaults(self):
+        for model in MODEL_FAMILIES:
+            params = default_model_params(model)
+            assert isinstance(params, dict) and params
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            default_model_params("svm")
+
+    def test_paper_table4_starred_rf(self):
+        params = default_model_params("random_forest")
+        assert params["max_depth"] == 8
+        assert params["criterion"] == "entropy"
+
+    def test_paper_table4_starred_lr(self):
+        assert default_model_params("logistic_regression")["penalty"] == "l1"
+
+
+class TestValidation:
+    def test_valid_default(self):
+        cfg = FrameworkConfig()
+        assert cfg.model == "random_forest"
+
+    def test_bad_feature_method(self):
+        with pytest.raises(ValueError, match="feature_method"):
+            FrameworkConfig(feature_method="pca")
+
+    def test_bad_model(self):
+        with pytest.raises(ValueError, match="model"):
+            FrameworkConfig(model="svm")
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError, match="query_strategy"):
+            FrameworkConfig(query_strategy="committee")
+
+    def test_bad_n_features(self):
+        with pytest.raises(ValueError, match="n_features"):
+            FrameworkConfig(n_features=0)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError, match="target_f1"):
+            FrameworkConfig(target_f1=1.5)
+
+    def test_bad_max_queries(self):
+        with pytest.raises(ValueError, match="max_queries"):
+            FrameworkConfig(max_queries=-1)
+
+
+class TestResolvedParams:
+    def test_overrides_merge_over_defaults(self):
+        cfg = FrameworkConfig(model="random_forest", model_params={"n_estimators": 7})
+        params = cfg.resolved_model_params()
+        assert params["n_estimators"] == 7
+        assert params["criterion"] == "entropy"  # default preserved

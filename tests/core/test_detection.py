@@ -1,0 +1,103 @@
+"""Tests for the anomaly-detection wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import AnomalyDetector
+from repro.mlcore.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = np.vstack(
+        [
+            rng.normal(0, 0.6, (60, 3)),   # healthy
+            rng.normal(4, 0.6, (30, 3)),   # membw
+            rng.normal(-4, 0.6, (30, 3)),  # memleak
+        ]
+    )
+    y = np.array(["healthy"] * 60 + ["membw"] * 30 + ["memleak"] * 30)
+    model = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+    return model, X, y
+
+
+class TestConstruction:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            AnomalyDetector(RandomForestClassifier())
+
+    def test_requires_healthy_class(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValueError, match="healthy"):
+            AnomalyDetector(model, healthy_label="nominal")
+
+    def test_threshold_validated(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValueError, match="threshold"):
+            AnomalyDetector(model, threshold=1.5)
+
+
+class TestScoring:
+    def test_scores_are_probabilities(self, fitted):
+        model, X, y = fitted
+        scores = AnomalyDetector(model).score(X)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_anomalous_scores_higher(self, fitted):
+        model, X, y = fitted
+        scores = AnomalyDetector(model).score(X)
+        assert scores[y != "healthy"].mean() > scores[y == "healthy"].mean()
+
+    def test_detect_verdicts(self, fitted):
+        model, X, y = fitted
+        results = AnomalyDetector(model, threshold=0.5).detect(X)
+        pred = np.array([r.anomalous for r in results])
+        assert np.mean(pred == (y != "healthy")) > 0.95
+
+    def test_suggested_label_is_an_anomaly_class(self, fitted):
+        model, X, y = fitted
+        results = AnomalyDetector(model).detect(X[:5])
+        for r in results:
+            assert r.suggested_label in ("membw", "memleak")
+
+    def test_suggestion_matches_true_anomaly(self, fitted):
+        model, X, y = fitted
+        results = AnomalyDetector(model).detect(X[60:90])  # membw block
+        suggestions = [r.suggested_label for r in results]
+        assert suggestions.count("membw") > 25
+
+
+class TestThresholdTuning:
+    def test_tuned_threshold_respects_budget(self, fitted):
+        model, X, y = fitted
+        detector = AnomalyDetector(model)
+        detector.tune_threshold(X, y, max_false_alarm_rate=0.05)
+        metrics = detector.evaluate(X, y)
+        assert metrics["false_alarm_rate"] <= 0.05 + 1e-9
+        assert metrics["detection_rate"] > 0.9
+
+    def test_tuning_without_healthy_rejected(self, fitted):
+        model, X, y = fitted
+        detector = AnomalyDetector(model)
+        mask = y != "healthy"
+        with pytest.raises(ValueError, match="no healthy"):
+            detector.tune_threshold(X[mask], y[mask])
+
+    def test_invalid_budget(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValueError, match="max_false_alarm_rate"):
+            AnomalyDetector(model).tune_threshold(X, y, max_false_alarm_rate=1.0)
+
+
+class TestEvaluate:
+    def test_metric_keys_and_ranges(self, fitted):
+        model, X, y = fitted
+        metrics = AnomalyDetector(model).evaluate(X, y)
+        for key in ("detection_rate", "false_alarm_rate", "precision", "accuracy"):
+            assert 0.0 <= metrics[key] <= 1.0
+
+    def test_perfect_on_separated_data(self, fitted):
+        model, X, y = fitted
+        metrics = AnomalyDetector(model, threshold=0.5).evaluate(X, y)
+        assert metrics["accuracy"] > 0.95

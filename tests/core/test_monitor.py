@@ -1,0 +1,105 @@
+"""Tests for the deployment drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import DriftMonitor, DriftReport
+from repro.mlcore.forest import RandomForestClassifier
+
+
+def _reference(n=300, m=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, m))
+
+
+class TestValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            DriftMonitor(alpha=0.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError, match="drift_fraction"):
+            DriftMonitor(drift_fraction_threshold=0.0)
+
+    def test_check_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            DriftMonitor().check(_reference(20))
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            DriftMonitor().fit(np.ones((3, 4)))
+
+    def test_window_feature_mismatch(self):
+        monitor = DriftMonitor().fit(_reference())
+        with pytest.raises(ValueError, match="window"):
+            monitor.check(np.ones((20, 3)))
+
+    def test_window_too_small(self):
+        monitor = DriftMonitor().fit(_reference())
+        with pytest.raises(ValueError, match="too small"):
+            monitor.check(np.ones((4, 10)))
+
+
+class TestFeatureDrift:
+    def test_no_drift_on_same_distribution(self):
+        monitor = DriftMonitor().fit(_reference(seed=0))
+        report = monitor.check(_reference(n=120, seed=99))
+        assert not report.drifted
+        assert report.feature_drift_fraction < 0.25
+
+    def test_detects_mean_shift(self):
+        monitor = DriftMonitor().fit(_reference())
+        shifted = _reference(n=120, seed=5) + 2.0
+        report = monitor.check(shifted)
+        assert report.drifted
+        assert report.feature_drift_fraction > 0.8
+
+    def test_detects_partial_shift(self):
+        monitor = DriftMonitor(drift_fraction_threshold=0.2).fit(_reference())
+        window = _reference(n=150, seed=7)
+        window[:, :4] += 3.0  # 40% of features shift
+        report = monitor.check(window)
+        assert report.drifted
+        assert 0.2 < report.feature_drift_fraction < 0.7
+
+    def test_reference_subsampling(self):
+        monitor = DriftMonitor(max_reference=64).fit(_reference(n=1000))
+        assert len(monitor.reference_) == 64
+
+
+class TestConfidenceDrift:
+    @pytest.fixture(scope="class")
+    def fitted_model(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (80, 4)), rng.normal(2, 0.5, (80, 4))])
+        y = np.array([0] * 80 + [1] * 80)
+        model = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        return model, X
+
+    def test_ood_window_drops_confidence(self, fitted_model):
+        model, X = fitted_model
+        monitor = DriftMonitor(model=model).fit(X)
+        rng = np.random.default_rng(1)
+        ood = rng.normal(0, 0.3, size=(60, 4))  # between the clusters
+        report = monitor.check(ood)
+        assert report.confidence_drop > 0.1
+        assert report.drifted
+
+    def test_in_distribution_confidence_stable(self, fitted_model):
+        model, X = fitted_model
+        monitor = DriftMonitor(model=model).fit(X)
+        rng = np.random.default_rng(2)
+        window = np.vstack(
+            [rng.normal(-2, 0.5, (30, 4)), rng.normal(2, 0.5, (30, 4))]
+        )
+        report = monitor.check(window)
+        assert abs(report.confidence_drop) < 0.1
+
+
+class TestReport:
+    def test_summary_strings(self):
+        ok = DriftReport(False, 0.05, 0.1, 0.0, 50)
+        bad = DriftReport(True, 0.6, 0.4, 0.2, 50)
+        assert "ok" in ok.summary()
+        assert "DRIFT" in bad.summary()
+        assert "60%" in bad.summary()

@@ -1,0 +1,70 @@
+"""Tests for framework save/load."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import ALBADross
+from repro.core.persistence import FORMAT_VERSION, load_framework, save_framework
+from repro.datasets.generate import generate_runs
+
+
+@pytest.fixture(scope="module")
+def small_framework(tiny_config):
+    runs = generate_runs(tiny_config, rng=0)
+    seed, pool = runs[: len(runs) // 2], runs[len(runs) // 2 :]
+    fw = ALBADross(
+        tiny_config.catalog,
+        FrameworkConfig(n_features=30, model_params={"n_estimators": 5}),
+    )
+    fw.fit_features(runs)
+    fw.fit_initial(seed, [r.label for r in seed])
+    return fw, pool
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, small_framework, tmp_path):
+        fw, pool = small_framework
+        path = save_framework(fw, tmp_path / "model.pkl")
+        restored = load_framework(path)
+        original = [d.label for d in fw.diagnose(pool[:5])]
+        loaded = [d.label for d in restored.diagnose(pool[:5])]
+        assert original == loaded
+
+    def test_config_survives(self, small_framework, tmp_path):
+        fw, _ = small_framework
+        path = save_framework(fw, tmp_path / "model.pkl")
+        assert load_framework(path).config == fw.config
+
+    def test_untrained_rejected(self, tiny_config, tmp_path):
+        fw = ALBADross(tiny_config.catalog)
+        with pytest.raises(ValueError, match="untrained"):
+            save_framework(fw, tmp_path / "x.pkl")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with path.open("wb") as fh:
+            pickle.dump({"hello": 1}, fh)
+        with pytest.raises(ValueError, match="not a saved"):
+            load_framework(path)
+
+    def test_wrong_version_rejected(self, small_framework, tmp_path):
+        fw, _ = small_framework
+        path = tmp_path / "old.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(
+                {"format_version": FORMAT_VERSION + 1, "framework": fw}, fh
+            )
+        with pytest.raises(ValueError, match="format version"):
+            load_framework(path)
+
+    def test_non_framework_payload_rejected(self, tmp_path):
+        path = tmp_path / "notfw.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(
+                {"format_version": FORMAT_VERSION, "framework": 42}, fh
+            )
+        with pytest.raises(ValueError, match="ALBADross instance"):
+            load_framework(path)

@@ -1,0 +1,104 @@
+"""Tests for campaign generation and the Volta/Eclipse configurations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.eclipse import eclipse_config
+from repro.datasets.generate import SystemConfig, build_dataset, generate_runs
+from repro.datasets.volta import volta_config
+
+
+class TestSystemConfig:
+    def test_classes_include_healthy_and_all_anomalies(self, tiny_config):
+        assert tiny_config.classes[0] == "healthy"
+        assert set(tiny_config.classes[1:]) == set(tiny_config.anomaly_names)
+
+    def test_validation(self, tiny_config):
+        with pytest.raises(ValueError, match="application"):
+            SystemConfig(
+                name="x", apps={}, catalog=tiny_config.catalog, node=tiny_config.node
+            )
+        with pytest.raises(ValueError, match="duration"):
+            SystemConfig(
+                name="x",
+                apps=tiny_config.apps,
+                catalog=tiny_config.catalog,
+                node=tiny_config.node,
+                duration=10,
+            )
+
+
+class TestGenerateRuns:
+    def test_run_counts(self, tiny_config):
+        runs = generate_runs(tiny_config, rng=0)
+        n_apps = len(tiny_config.apps)
+        expected_healthy = n_apps * 3 * tiny_config.n_healthy_per_app_input
+        expected_anom = (
+            n_apps
+            * len(tiny_config.anomaly_names)
+            * tiny_config.n_anomalous_per_app_anomaly
+        )
+        assert len(runs) == expected_healthy + expected_anom
+        labels = np.array([r.label for r in runs])
+        assert np.sum(labels == "healthy") == expected_healthy
+
+    def test_every_condition_cell_covered(self, tiny_config):
+        runs = generate_runs(tiny_config, rng=0)
+        cells = {(r.app, r.label) for r in runs}
+        for app in tiny_config.apps:
+            assert (app, "healthy") in cells
+            for anomaly in tiny_config.anomaly_names:
+                assert (app, anomaly) in cells
+
+    def test_intensities_cycle_through_grid(self, tiny_config):
+        runs = generate_runs(tiny_config, rng=0)
+        intensities = {r.intensity for r in runs if r.label != "healthy"}
+        assert intensities == set(tiny_config.intensities)
+
+    def test_reproducible(self, tiny_config):
+        a = generate_runs(tiny_config, rng=5)
+        b = generate_runs(tiny_config, rng=5)
+        assert np.array_equal(a[0].data, b[0].data, equal_nan=True)
+        assert [r.label for r in a] == [r.label for r in b]
+
+
+class TestBuildDataset:
+    def test_featurized_output(self, tiny_dataset):
+        ds, extractor = tiny_dataset
+        assert len(ds) > 0
+        assert not np.isnan(ds.X).any()
+        assert extractor.keep_mask_ is not None
+
+
+class TestNamedConfigs:
+    def test_volta_shape(self):
+        cfg = volta_config(scale=0.05)
+        assert len(cfg.apps) == 11
+        assert cfg.node_counts == (4,)
+        assert len(cfg.intensities) == 6
+        assert cfg.name == "volta"
+
+    def test_eclipse_shape(self):
+        cfg = eclipse_config(scale=0.05)
+        assert len(cfg.apps) == 6
+        assert cfg.node_counts == (4, 8, 16)
+        assert len(cfg.intensities) == 3
+        assert cfg.name == "eclipse"
+
+    def test_full_scale_metric_counts(self):
+        assert len(volta_config(scale=1.0).catalog) == 721
+        assert len(eclipse_config(scale=1.0).catalog) == 806
+
+    def test_duration_scales(self):
+        assert volta_config(scale=1.0).duration == 750
+        assert volta_config(scale=0.05).duration >= 120
+        assert eclipse_config(scale=1.0).duration == 1950
+
+    def test_duration_override(self):
+        assert volta_config(scale=0.05, duration=222).duration == 222
+
+    def test_eclipse_harder_than_volta(self):
+        """Eclipse apps carry more run variation (the paper's complexity gap)."""
+        volta_var = np.mean([a.run_variation for a in volta_config(0.05).apps.values()])
+        eclipse_var = np.mean([a.run_variation for a in eclipse_config(0.05).apps.values()])
+        assert eclipse_var > volta_var

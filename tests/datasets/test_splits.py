@@ -1,0 +1,142 @@
+"""Tests for the Fig. 2 split and the robustness holdout splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    make_app_holdout_split,
+    make_input_holdout_split,
+    make_standard_split,
+    prepare,
+)
+
+HEALTHY = "healthy"
+
+
+@pytest.fixture(scope="module")
+def corpus(volta_mini):
+    _, ds, _ = volta_mini
+    return ds
+
+
+class TestStandardSplit:
+    def test_seed_is_one_per_app_class_pair(self, corpus):
+        bundle = make_standard_split(corpus, rng=0)
+        seed = bundle.seed
+        assert HEALTHY in seed.labels  # default includes healthy seeds
+        pairs = list(zip(seed.apps, seed.labels))
+        assert len(pairs) == len(set(pairs))
+        n_apps = len(np.unique(corpus.apps))
+        n_classes = len(np.unique(corpus.labels))
+        assert len(seed) == n_apps * n_classes
+
+    def test_paper_literal_seed_excludes_healthy(self, corpus):
+        bundle = make_standard_split(corpus, rng=0, seed_healthy=False)
+        assert HEALTHY not in bundle.seed.labels
+        n_apps = len(np.unique(corpus.apps))
+        n_anoms = len(np.unique(corpus.labels)) - 1
+        assert len(bundle.seed) == n_apps * n_anoms
+
+    def test_pool_anomaly_ratio(self, corpus):
+        bundle = make_standard_split(corpus, rng=0, pool_anomaly_ratio=0.10)
+        ratio = np.mean(bundle.pool.labels != HEALTHY)
+        assert ratio == pytest.approx(0.10, abs=0.03)
+
+    def test_no_overlap_between_parts(self, corpus):
+        bundle = make_standard_split(corpus, rng=1)
+        # row identity via feature vectors (they are unique per run)
+        def keys(ds):
+            return {hash(row.tobytes()) for row in ds.X}
+        s, p, t = keys(bundle.seed), keys(bundle.pool), keys(bundle.test)
+        assert not (s & p) and not (s & t) and not (p & t)
+
+    def test_test_has_all_classes(self, corpus):
+        bundle = make_standard_split(corpus, rng=2)
+        assert set(bundle.test.labels) == set(corpus.labels)
+
+    def test_pool_keeps_every_anomaly_type(self, corpus):
+        bundle = make_standard_split(corpus, rng=3)
+        anom_types = set(bundle.pool.labels) - {HEALTHY}
+        assert anom_types == set(corpus.labels) - {HEALTHY}
+
+    def test_train_union(self, corpus):
+        bundle = make_standard_split(corpus, rng=0)
+        assert len(bundle.train) == len(bundle.seed) + len(bundle.pool)
+
+    def test_invalid_test_frac(self, corpus):
+        with pytest.raises(ValueError, match="test_frac"):
+            make_standard_split(corpus, test_frac=0.0)
+
+    def test_different_seeds_different_splits(self, corpus):
+        a = make_standard_split(corpus, rng=10)
+        b = make_standard_split(corpus, rng=11)
+        assert not np.array_equal(a.test.X, b.test.X)
+
+
+class TestAppHoldout:
+    def test_train_and_test_apps_disjoint(self, corpus):
+        train_apps = ["CG", "BT"]
+        bundle = make_app_holdout_split(corpus, train_apps, rng=0)
+        assert set(bundle.seed.apps) <= set(train_apps)
+        assert set(bundle.pool.apps) <= set(train_apps)
+        assert not (set(bundle.test.apps) & set(train_apps))
+
+    def test_unknown_app_rejected(self, corpus):
+        with pytest.raises(ValueError, match="not in dataset"):
+            make_app_holdout_split(corpus, ["HAL9000"], rng=0)
+
+    def test_all_apps_in_train_rejected(self, corpus):
+        every_app = list(np.unique(corpus.apps))
+        with pytest.raises(ValueError, match="held-out"):
+            make_app_holdout_split(corpus, every_app, rng=0)
+
+    def test_seed_covers_train_app_class_grid(self, corpus):
+        bundle = make_app_holdout_split(corpus, ["CG", "BT"], rng=0)
+        pairs = set(zip(bundle.seed.apps, bundle.seed.labels))
+        classes = set(corpus.labels)
+        assert pairs == {(a, c) for a in ("CG", "BT") for c in classes}
+
+
+class TestInputHoldout:
+    def test_decks_are_disjoint(self, corpus):
+        bundle = make_input_holdout_split(corpus, train_input=0, rng=0)
+        assert set(bundle.seed.input_decks) == {0}
+        assert set(bundle.pool.input_decks) == {0}
+        assert 0 not in set(bundle.test.input_decks)
+
+    def test_missing_deck_rejected(self, corpus):
+        with pytest.raises(ValueError, match="input deck"):
+            make_input_holdout_split(corpus, train_input=99, rng=0)
+
+
+class TestPrepare:
+    def test_shapes_and_k(self, corpus):
+        bundle = make_standard_split(corpus, rng=0)
+        prep = prepare(bundle, k_features=50)
+        assert prep.X_seed.shape[1] == 50
+        assert prep.X_pool.shape[1] == 50
+        assert prep.X_test.shape[1] == 50
+        assert len(prep.pool_apps) == len(prep.y_pool)
+
+    def test_train_features_in_unit_range(self, corpus):
+        bundle = make_standard_split(corpus, rng=0)
+        prep = prepare(bundle, k_features=50)
+        for X in (prep.X_seed, prep.X_pool):
+            assert X.min() >= -1e-9 and X.max() <= 1 + 1e-9
+
+    def test_test_clipped_into_range(self, corpus):
+        bundle = make_standard_split(corpus, rng=0)
+        prep = prepare(bundle, k_features=50)
+        assert prep.X_test.min() >= 0.0 and prep.X_test.max() <= 1.0
+
+    def test_selected_features_are_class_informative(self, corpus):
+        """The chi2 selection must keep features that separate classes better
+        than a random subset would (sanity of the whole preprocessing)."""
+        from repro.mlcore import RandomForestClassifier, f1_score
+
+        bundle = make_standard_split(corpus, rng=0)
+        prep = prepare(bundle, k_features=100)
+        rf = RandomForestClassifier(n_estimators=20, random_state=0)
+        rf.fit(prep.X_pool, prep.y_pool)
+        f1 = f1_score(prep.y_test, rf.predict(prep.X_test))
+        assert f1 > 0.3

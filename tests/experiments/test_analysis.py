@@ -1,0 +1,145 @@
+"""Tests for the per-class drill-down analysis."""
+
+import numpy as np
+import pytest
+
+from repro.active.loop import ALResult
+from repro.active.oracle import Oracle
+from repro.experiments.analysis import (
+    confusion_pairs,
+    hardest_anomaly,
+    per_class_report,
+    queried_class_alignment,
+    query_efficiency,
+)
+
+Y_TRUE = np.array(["healthy"] * 6 + ["dial"] * 4 + ["membw"] * 4)
+# dial is half-missed; membw is perfect
+Y_PRED = np.array(
+    ["healthy"] * 6 + ["dial", "dial", "healthy", "healthy"] + ["membw"] * 4
+)
+
+
+class TestPerClassReport:
+    def test_scores_and_support(self):
+        report = per_class_report(Y_TRUE, Y_PRED)
+        assert report.f1_of("membw") == 1.0
+        assert report.f1_of("dial") < 1.0
+        assert report.support[report.labels.index("healthy")] == 6
+
+    def test_ranked_worst_first(self):
+        report = per_class_report(Y_TRUE, Y_PRED)
+        ranked = report.ranked()
+        assert ranked[0][0] == "dial"
+        assert ranked[-1][1] >= ranked[0][1]
+
+    def test_unknown_label(self):
+        report = per_class_report(Y_TRUE, Y_PRED)
+        with pytest.raises(KeyError, match="cpuoccupy"):
+            report.f1_of("cpuoccupy")
+
+
+class TestHardestAnomaly:
+    def test_identifies_lowest_f1_anomaly(self):
+        assert hardest_anomaly(Y_TRUE, Y_PRED) == "dial"
+
+    def test_healthy_excluded(self):
+        y_true = np.array(["healthy", "healthy", "membw"])
+        y_pred = np.array(["membw", "membw", "membw"])  # healthy F1 = 0
+        assert hardest_anomaly(y_true, y_pred) == "membw"
+
+    def test_no_anomalies_raises(self):
+        y = np.array(["healthy", "healthy"])
+        with pytest.raises(ValueError, match="no anomaly"):
+            hardest_anomaly(y, y)
+
+
+class TestConfusionPairs:
+    def test_top_error_pair(self):
+        pairs = confusion_pairs(Y_TRUE, Y_PRED)
+        assert pairs[0] == ("dial", "healthy", 2)
+
+    def test_perfect_prediction_has_no_pairs(self):
+        assert confusion_pairs(Y_TRUE, Y_TRUE) == []
+
+    def test_top_k_limits(self):
+        y_true = np.array(["a", "b", "c", "d"])
+        y_pred = np.array(["b", "c", "d", "a"])
+        assert len(confusion_pairs(y_true, y_pred, top_k=2)) == 2
+
+
+def _result(f1, labels):
+    return ALResult(
+        n_labeled=np.arange(10, 10 + len(f1)),
+        f1=np.asarray(f1, dtype=float),
+        far=np.zeros(len(f1)),
+        amr=np.zeros(len(f1)),
+        oracle=Oracle(y_true=np.array(["healthy"])),
+        queried_labels=list(labels),
+    )
+
+
+class TestQueryEfficiency:
+    def test_targets_resolved(self):
+        res = _result([0.5, 0.75, 0.85], [])
+        eff = query_efficiency(res, targets=(0.7, 0.8, 0.99))
+        assert eff[0.7] == 1 and eff[0.8] == 2 and eff[0.99] is None
+
+
+class TestQueriedAlignment:
+    def test_shares_sum_to_one(self):
+        res = _result([0.5], ["dial", "dial", "healthy", "membw"])
+        shares = queried_class_alignment(res, None, None)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["dial"] == 0.5
+
+    def test_empty_queries(self):
+        res = _result([0.5], [])
+        assert queried_class_alignment(res, None, None) == {}
+
+
+class TestSubsystemSignal:
+    NAMES = [
+        "meminfo.MemFree::mean",
+        "meminfo.Active::linear_slope",
+        "vmstat.pgfault::std",
+        "cray.WB_hits::half_diff_mean",
+        "cray.stalls::mean",
+    ]
+
+    def test_counts_by_subsystem(self):
+        from repro.experiments.analysis import subsystem_signal
+
+        counts = subsystem_signal(self.NAMES)
+        assert counts == {"meminfo": 2, "vmstat": 1, "cray": 2}
+
+    def test_bad_name_rejected(self):
+        from repro.experiments.analysis import subsystem_signal
+
+        with pytest.raises(ValueError, match="pipeline feature"):
+            subsystem_signal(["plainname"])
+
+    def test_feature_family_ranking(self):
+        from repro.experiments.analysis import feature_family_signal
+
+        fams = feature_family_signal(self.NAMES)
+        assert fams[0] == ("mean", 2)
+        assert ("std", 1) in fams
+
+    def test_top_k(self):
+        from repro.experiments.analysis import feature_family_signal
+
+        assert len(feature_family_signal(self.NAMES, top_k=2)) == 2
+
+    def test_on_real_selector(self, volta_mini):
+        """End to end: selected features map back to subsystems."""
+        from repro.datasets import make_standard_split, prepare
+        from repro.experiments.analysis import subsystem_signal
+
+        _, ds, _ = volta_mini
+        bundle = make_standard_split(ds, rng=0)
+        prep = prepare(bundle, k_features=60)
+        kept = [ds.feature_names[i] for i in prep.selector.get_support()]
+        counts = subsystem_signal(kept)
+        assert sum(counts.values()) == 60
+        assert len(counts) >= 2  # signal never lives in one subsystem only

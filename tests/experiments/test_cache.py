@@ -1,0 +1,58 @@
+"""Tests for the on-disk dataset cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import get_or_build, load_dataset, save_dataset
+from repro.features.pipeline import FeatureDataset
+
+
+def _dataset(n=6):
+    rng = np.random.default_rng(0)
+    return FeatureDataset(
+        X=rng.normal(size=(n, 4)),
+        labels=np.array(["healthy", "membw"] * (n // 2)),
+        apps=np.array(["CG"] * n),
+        input_decks=np.zeros(n, dtype=int),
+        intensities=np.zeros(n),
+        node_counts=np.full(n, 4),
+        feature_names=["f0", "f1", "f2", "f3"],
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        ds = _dataset()
+        path = save_dataset(ds, tmp_path / "d.npz")
+        back = load_dataset(path)
+        assert np.array_equal(back.X, ds.X)
+        assert list(back.labels) == list(ds.labels)
+        assert back.feature_names == ds.feature_names
+
+    def test_creates_parent_dirs(self, tmp_path):
+        save_dataset(_dataset(), tmp_path / "deep" / "dir" / "d.npz")
+        assert (tmp_path / "deep" / "dir" / "d.npz").exists()
+
+
+class TestGetOrBuild:
+    def test_builds_once(self, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return _dataset()
+
+        a = get_or_build("corp", builder, tmp_path)
+        b = get_or_build("corp", builder, tmp_path)
+        assert len(calls) == 1
+        assert np.array_equal(a.X, b.X)
+
+    def test_manifest_written(self, tmp_path):
+        get_or_build("corp", _dataset, tmp_path)
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_corrupt_entry_rebuilt(self, tmp_path):
+        (tmp_path).mkdir(exist_ok=True)
+        (tmp_path / "bad.npz").write_bytes(b"not a zip")
+        ds = get_or_build("bad", _dataset, tmp_path)
+        assert len(ds) == 6

@@ -1,0 +1,45 @@
+"""Tests for the canonical bench configurations."""
+
+import pytest
+
+from repro.experiments.configs import (
+    K_FEATURES,
+    N_QUERIES,
+    N_SPLITS,
+    RF_PARAMS,
+    bench_eclipse_config,
+    bench_volta_config,
+)
+
+
+class TestBenchConfigs:
+    def test_volta_shape(self):
+        cfg = bench_volta_config()
+        assert cfg.name == "volta"
+        assert len(cfg.apps) == 11
+        assert cfg.duration >= 120
+
+    def test_eclipse_shape(self):
+        cfg = bench_eclipse_config()
+        assert cfg.name == "eclipse"
+        assert len(cfg.apps) == 6
+        assert cfg.node_counts == (4, 8, 16)
+
+    def test_shared_run_volume(self):
+        """Both systems collect comparable per-cell volumes."""
+        v = bench_volta_config()
+        e = bench_eclipse_config()
+        assert v.n_healthy_per_app_input == e.n_healthy_per_app_input
+        assert v.n_anomalous_per_app_anomaly == e.n_anomalous_per_app_anomaly
+
+    def test_knobs_are_sane(self):
+        assert N_SPLITS >= 2
+        assert N_QUERIES >= 50
+        assert K_FEATURES >= 100
+        assert RF_PARAMS["criterion"] in ("gini", "entropy")
+
+    def test_unknown_system_rejected(self):
+        from repro.experiments.configs import bench_dataset
+
+        with pytest.raises(ValueError, match="unknown system"):
+            bench_dataset("summit")

@@ -1,0 +1,113 @@
+"""Tests for the plain-text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    curve_table,
+    distribution_table,
+    format_table,
+    sparkline,
+    table5_row,
+)
+from repro.experiments.runner import CurveStats, ExperimentResult
+from repro.active.loop import ALResult
+from repro.active.oracle import Oracle
+
+
+def _stats(f1, start_n=10):
+    n = len(f1)
+    zeros = np.zeros(n)
+    return CurveStats(
+        n_labeled=np.arange(start_n, start_n + n),
+        f1_mean=np.asarray(f1, dtype=float),
+        f1_ci=zeros,
+        far_mean=np.linspace(1, 0, n),
+        far_ci=zeros,
+        amr_mean=zeros,
+        amr_ci=zeros,
+        n_splits=1,
+    )
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_clipping(self):
+        assert sparkline([-5, 5]) == "▁█"
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError, match="hi"):
+            sparkline([0.5], lo=1, hi=0)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+
+class TestCurveTable:
+    def test_contains_methods_and_checkpoints(self):
+        text = curve_table(
+            {"uncertainty": _stats([0.5, 0.6, 0.7])}, checkpoints=(0, 2)
+        )
+        assert "uncertainty" in text
+        assert "+0" in text and "+2" in text
+        assert "0.500" in text and "0.700" in text
+
+    def test_out_of_budget_checkpoint_dashes(self):
+        text = curve_table({"m": _stats([0.5, 0.6])}, checkpoints=(0, 50))
+        assert "-" in text.splitlines()[-1]
+
+    def test_far_metric(self):
+        text = curve_table({"m": _stats([0.5, 0.6])}, checkpoints=(0,), metric="far")
+        assert "1.000" in text
+
+
+class TestTable5Row:
+    def _result(self, f1):
+        return ExperimentResult(
+            runs={
+                "uncertainty": [
+                    ALResult(
+                        n_labeled=np.arange(10, 10 + len(f1)),
+                        f1=np.asarray(f1, dtype=float),
+                        far=np.zeros(len(f1)),
+                        amr=np.zeros(len(f1)),
+                        oracle=Oracle(y_true=np.array(["healthy"])),
+                    )
+                ]
+            }
+        )
+
+    def test_already_passed(self):
+        row = table5_row(
+            "Volta", "TSFRESH", "uncertainty",
+            self._result([0.9, 0.96]), 0.95, 500, 0.99, 1000,
+            targets=(0.85,),
+        )
+        assert "Already Passed" in row
+
+    def test_counts_and_not_reached(self):
+        row = table5_row(
+            "Volta", "TSFRESH", "uncertainty",
+            self._result([0.5, 0.86, 0.91]), 0.95, 500, 0.99, 1000,
+        )
+        assert "1 samples" in row  # 0.85 at +1
+        assert "2 samples" in row  # 0.90 at +2
+        assert "not reached" in row  # 0.95 never
+
+
+class TestDistributionTable:
+    def test_counts_render(self):
+        text = distribution_table(
+            ["healthy", "healthy", "dial"], ["CG", "BT", "CG"], first_n=3
+        )
+        assert "healthy" in text and "## 2" in text
+        assert "CG" in text

@@ -1,0 +1,151 @@
+"""Tests for MVTS feature extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.mvts import (
+    MVTS_FEATURE_NAMES,
+    extract_mvts,
+    feature_names_for,
+)
+
+IDX = {name: i for i, name in enumerate(MVTS_FEATURE_NAMES)}
+
+
+def _feat(X, metric, name):
+    """Pull one named feature of one metric from the flat output."""
+    flat = extract_mvts(X)
+    return flat[metric * len(MVTS_FEATURE_NAMES) + IDX[name]]
+
+
+class TestInventory:
+    def test_exactly_48_features(self):
+        assert len(MVTS_FEATURE_NAMES) == 48
+        assert len(set(MVTS_FEATURE_NAMES)) == 48
+
+    def test_output_length(self):
+        X = np.random.default_rng(0).normal(size=(50, 7))
+        assert extract_mvts(X).shape == (7 * 48,)
+
+    def test_feature_names_for(self):
+        names = feature_names_for(["m1", "m2"])
+        assert len(names) == 96
+        assert names[0] == "m1::mean"
+        assert names[48] == "m2::mean"
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        X = np.ones((10, 2))
+        X[3, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            extract_mvts(X)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            extract_mvts(np.ones((3, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="T, M"):
+            extract_mvts(np.ones(10))
+
+
+class TestKnownValues:
+    def test_descriptive_stats(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        X = x.reshape(-1, 1)
+        assert _feat(X, 0, "mean") == pytest.approx(3.0)
+        assert _feat(X, 0, "median") == pytest.approx(3.0)
+        assert _feat(X, 0, "min") == 1.0
+        assert _feat(X, 0, "max") == 5.0
+        assert _feat(X, 0, "range") == 4.0
+        assert _feat(X, 0, "total") == 15.0
+        assert _feat(X, 0, "abs_energy") == pytest.approx(55.0)
+
+    def test_linear_slope(self):
+        t = np.arange(20, dtype=float)
+        X = (2.0 * t + 3.0).reshape(-1, 1)
+        assert _feat(X, 0, "linear_slope") == pytest.approx(2.0)
+        assert _feat(X, 0, "linear_intercept") == pytest.approx(3.0)
+
+    def test_monotonic_increase_run(self):
+        x = np.array([0.0, 1, 2, 3, 2, 1, 0, 1])
+        X = x.reshape(-1, 1)
+        assert _feat(X, 0, "longest_monotonic_increase") == 4  # 0,1,2,3
+        assert _feat(X, 0, "longest_monotonic_decrease") == 4  # 3,2,1,0
+
+    def test_half_diff_mean_on_step(self):
+        x = np.concatenate([np.zeros(10), np.ones(10)])
+        X = x.reshape(-1, 1)
+        assert _feat(X, 0, "half_diff_mean") == pytest.approx(1.0)
+
+    def test_mean_abs_change(self):
+        x = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        X = x.reshape(-1, 1)
+        assert _feat(X, 0, "mean_abs_change") == pytest.approx(1.0)
+        assert _feat(X, 0, "mean_change") == pytest.approx(0.0)
+
+    def test_autocorr_of_alternating_signal(self):
+        x = np.tile([1.0, -1.0], 20)
+        X = x.reshape(-1, 1)
+        assert _feat(X, 0, "autocorr_lag1") == pytest.approx(-1.0, abs=0.05)
+        assert _feat(X, 0, "autocorr_lag2") == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_series_is_safe(self):
+        X = np.full((30, 1), 5.0)
+        flat = extract_mvts(X)
+        assert np.all(np.isfinite(flat))
+        assert _feat(X, 0, "std") == 0.0
+        assert _feat(X, 0, "skew") == 0.0
+        assert _feat(X, 0, "variation_coefficient") == 0.0
+
+    def test_metric_major_ordering(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        flat = extract_mvts(X)
+        for j in range(3):
+            solo = extract_mvts(X[:, [j]])
+            block = flat[j * 48 : (j + 1) * 48]
+            assert np.allclose(solo, block)
+
+
+class TestAnomalySensitivity:
+    def test_step_vs_flat_differ_in_half_diff(self):
+        flat = np.zeros((60, 1)) + 0.5
+        step = flat.copy()
+        step[30:] += 1.0
+        f_flat = extract_mvts(flat)
+        f_step = extract_mvts(step)
+        i = IDX["half_diff_mean"]
+        assert f_step[i] > f_flat[i] + 0.9
+
+    def test_ramp_has_positive_slope_feature(self):
+        ramp = np.linspace(0, 1, 50).reshape(-1, 1)
+        assert extract_mvts(ramp)[IDX["linear_slope"]] > 0.01
+
+
+class TestProperties:
+    @given(
+        T=st.integers(8, 60),
+        M=st.integers(1, 4),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_features_finite(self, T, M, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(scale=rng.uniform(0.1, 100), size=(T, M))
+        assert np.all(np.isfinite(extract_mvts(X)))
+
+    @given(seed=st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_shift_invariance_of_std_features(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 2))
+        a = extract_mvts(X)
+        b = extract_mvts(X + 100.0)
+        for name in ("std", "var", "iqr", "mean_abs_change", "autocorr_lag1"):
+            for j in range(2):
+                i = j * 48 + IDX[name]
+                assert a[i] == pytest.approx(b[i], abs=1e-6)

@@ -1,0 +1,149 @@
+"""Tests for the second-wave TSFRESH-lite feature families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.tsfresh_lite import TSFRESH_FEATURE_NAMES, extract_tsfresh
+
+IDX = {name: i for i, name in enumerate(TSFRESH_FEATURE_NAMES)}
+W = len(TSFRESH_FEATURE_NAMES)
+
+
+def _feat(X, name, metric=0):
+    return extract_tsfresh(X)[metric * W + IDX[name]]
+
+
+class TestAggTrend:
+    def test_ramp_has_positive_chunk_slope(self):
+        X = np.linspace(0, 8, 64).reshape(-1, 1)
+        assert _feat(X, "agg_trend_slope") > 1.0
+
+    def test_flat_has_zero_slope_and_stderr(self):
+        X = np.full((64, 1), 3.0)
+        assert _feat(X, "agg_trend_slope") == pytest.approx(0.0)
+        assert _feat(X, "agg_trend_stderr") == pytest.approx(0.0)
+
+    def test_noisy_flat_has_higher_stderr_than_clean_ramp(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.normal(size=(64, 1)) * 5
+        ramp = np.linspace(0, 1, 64).reshape(-1, 1)
+        assert _feat(noisy, "agg_trend_stderr") > _feat(ramp, "agg_trend_stderr")
+
+
+class TestChangeQuantiles:
+    def test_zero_when_no_changes_in_corridor(self):
+        X = np.full((32, 1), 1.0)
+        assert _feat(X, "change_quantiles_mean_abs") == 0.0
+
+    def test_interior_volatility_detected(self):
+        rng = np.random.default_rng(1)
+        calm = np.cumsum(rng.normal(scale=0.01, size=64)).reshape(-1, 1)
+        wild = rng.normal(scale=1.0, size=(64, 1))
+        assert _feat(wild, "change_quantiles_mean_abs") > _feat(
+            calm, "change_quantiles_mean_abs"
+        )
+
+
+class TestDuplication:
+    def test_unique_ramp(self):
+        X = np.arange(50, dtype=float).reshape(-1, 1)
+        assert _feat(X, "ratio_unique_values") == pytest.approx(1.0)
+        assert _feat(X, "has_duplicate_max") == 0.0
+        assert _feat(X, "has_duplicate_min") == 0.0
+        assert _feat(X, "pct_reoccurring_points") == pytest.approx(0.0)
+
+    def test_repeated_extremes_flagged(self):
+        x = np.array([0.0, 5.0, 1.0, 5.0, 0.0, 2.0, 3.0, 4.0] * 4)
+        X = x.reshape(-1, 1)
+        assert _feat(X, "has_duplicate_max") == 1.0
+        assert _feat(X, "has_duplicate_min") == 1.0
+        assert _feat(X, "ratio_unique_values") < 0.5
+
+
+class TestAutoregressive:
+    def test_ar1_process_recovers_coefficient(self):
+        rng = np.random.default_rng(2)
+        phi = 0.8
+        x = np.zeros(1000)
+        for t in range(1, 1000):
+            x[t] = phi * x[t - 1] + rng.normal()
+        X = x.reshape(-1, 1)
+        assert _feat(X, "ar_coef_1") == pytest.approx(phi, abs=0.1)
+        # AR(1) has near-zero lag-2 partial autocorrelation
+        assert abs(_feat(X, "pacf_lag2")) < 0.15
+
+    def test_white_noise_coefficients_near_zero(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(1000, 1))
+        assert abs(_feat(X, "ar_coef_1")) < 0.1
+        assert abs(_feat(X, "ar_coef_2")) < 0.1
+
+
+class TestSpectralShape:
+    def test_narrowband_has_smaller_psd_variance_than_noise(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(256, dtype=float)
+        sine = np.sin(2 * np.pi * t / 16).reshape(-1, 1)
+        noise = rng.normal(size=(256, 1))
+        assert _feat(sine, "psd_variance") < _feat(noise, "psd_variance")
+
+
+class TestLevelFamilies:
+    def test_mean_abs_max_7_of_spiky_signal(self):
+        x = np.zeros(64)
+        x[::9] = 10.0
+        X = x.reshape(-1, 1)
+        assert _feat(X, "mean_abs_max_7") == pytest.approx(10.0, abs=0.5)
+
+    def test_crossings_median_of_alternating(self):
+        x = np.tile([1.0, -1.0], 32)
+        X = x.reshape(-1, 1)
+        assert _feat(X, "crossings_median") >= 60
+
+    def test_range_count_1sigma_of_gaussian(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(3000, 1))
+        assert _feat(X, "range_count_1sigma") == pytest.approx(0.68, abs=0.05)
+
+    def test_variance_gt_std_flag(self):
+        small = (0.1 * np.random.default_rng(6).normal(size=(64, 1)))
+        big = 100.0 * np.random.default_rng(7).normal(size=(64, 1))
+        assert _feat(small, "variance_gt_std") == 0.0
+        assert _feat(big, "variance_gt_std") == 1.0
+
+    def test_extreme_regime_location(self):
+        x = np.zeros(100)
+        x[10:15] = 9.0  # the top decile lives early in the run
+        X = x.reshape(-1, 1)
+        assert _feat(X, "first_loc_above_q90") == pytest.approx(0.10, abs=0.02)
+        assert _feat(X, "last_loc_above_q90") == pytest.approx(0.14, abs=0.02)
+
+    def test_peak_supports_ordering(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(200, 1))
+        # stricter support -> fewer or equal peaks
+        assert _feat(X, "number_peaks_s5") <= _feat(X, "number_peaks_s1")
+
+
+class TestProperties:
+    @given(
+        T=st.integers(16, 80),
+        M=st.integers(1, 3),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_112_features_finite(self, T, M, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(scale=rng.uniform(0.01, 1000), size=(T, M))
+        out = extract_tsfresh(X)
+        assert out.shape == (M * 112,)
+        assert np.all(np.isfinite(out))
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_constant_series_features_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        X = np.full((40, 2), float(rng.uniform(-5, 5)))
+        assert np.all(np.isfinite(extract_tsfresh(X)))

@@ -1,0 +1,74 @@
+"""Tests for the Proctor autoencoder substrate."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.autoencoder import Autoencoder
+
+
+def _correlated_data(n=200, seed=0):
+    """Data living near a 3-D subspace of a 20-D ambient space."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 3))
+    basis = rng.normal(size=(3, 20))
+    X = latent @ basis + 0.05 * rng.normal(size=(n, 20))
+    # normalize to [0,1]-ish as the pipeline would
+    X = (X - X.min(0)) / (X.max(0) - X.min(0))
+    return X
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        X = _correlated_data()
+        ae = Autoencoder(code_size=3, hidden_layer_sizes=(16,), max_iter=40, random_state=0).fit(X)
+        assert ae.loss_curve_[-1] < ae.loss_curve_[0]
+
+    def test_reconstruction_beats_mean_baseline(self):
+        X = _correlated_data()
+        ae = Autoencoder(code_size=3, hidden_layer_sizes=(16,), max_iter=80, random_state=0).fit(X)
+        ae_err = float(np.mean((ae.reconstruct(X) - X) ** 2))
+        mean_err = float(np.mean((X.mean(axis=0) - X) ** 2))
+        assert ae_err < mean_err
+
+    def test_invalid_code_size(self):
+        with pytest.raises(ValueError, match="code_size"):
+            Autoencoder(code_size=0).fit(_correlated_data(20))
+
+    def test_y_is_ignored(self):
+        X = _correlated_data(50)
+        Autoencoder(code_size=2, max_iter=3, random_state=0).fit(X, y=np.arange(50))
+
+
+class TestTransform:
+    def test_code_shape(self):
+        X = _correlated_data()
+        ae = Autoencoder(code_size=5, hidden_layer_sizes=(16,), max_iter=5, random_state=0).fit(X)
+        assert ae.transform(X).shape == (len(X), 5)
+
+    def test_feature_mismatch(self):
+        X = _correlated_data(40)
+        ae = Autoencoder(code_size=2, max_iter=3, random_state=0).fit(X)
+        with pytest.raises(ValueError, match="features"):
+            ae.transform(np.ones((3, 7)))
+
+    def test_no_hidden_layers(self):
+        X = _correlated_data(60)
+        ae = Autoencoder(code_size=3, hidden_layer_sizes=(), max_iter=20, random_state=0).fit(X)
+        assert ae.transform(X).shape == (60, 3)
+
+
+class TestAnomalyScore:
+    def test_outliers_have_higher_reconstruction_error(self):
+        X = _correlated_data(300)
+        ae = Autoencoder(code_size=3, hidden_layer_sizes=(24,), max_iter=100, random_state=0).fit(X)
+        rng = np.random.default_rng(1)
+        outliers = rng.uniform(0, 1, size=(50, X.shape[1]))
+        assert ae.reconstruction_error(outliers).mean() > ae.reconstruction_error(X).mean()
+
+
+class TestDeterminism:
+    def test_same_seed_same_codes(self):
+        X = _correlated_data(80)
+        c1 = Autoencoder(code_size=3, max_iter=10, random_state=5).fit(X).transform(X)
+        c2 = Autoencoder(code_size=3, max_iter=10, random_state=5).fit(X).transform(X)
+        assert np.array_equal(c1, c2)

@@ -1,0 +1,109 @@
+"""Tests for the estimator protocol and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.base import (
+    BaseEstimator,
+    check_array,
+    check_random_state,
+    check_X_y,
+    clone,
+    encode_labels,
+)
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, layers=(3, 3)):
+        self.alpha = alpha
+        self.layers = layers
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        assert _Toy(alpha=2.5).get_params() == {"alpha": 2.5, "layers": (3, 3)}
+
+    def test_set_params_roundtrip(self):
+        toy = _Toy().set_params(alpha=9.0)
+        assert toy.alpha == 9.0
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            _Toy().set_params(gamma=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(_Toy())
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        a = _Toy(alpha=3.0)
+        b = clone(a)
+        assert b.alpha == 3.0 and b is not a
+
+    def test_clone_deep_copies_mutable_params(self):
+        a = _Toy(layers=[5, 5])
+        b = clone(a)
+        b.layers.append(7)
+        assert a.layers == [5, 5]
+
+    def test_clone_drops_fitted_state(self):
+        a = _Toy()
+        a.coef_ = np.ones(3)
+        assert not hasattr(clone(a), "coef_")
+
+
+class TestCheckArray:
+    def test_accepts_lists(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array(np.ones(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no samples"):
+            check_array(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+
+class TestCheckXy:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="samples"):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.ones((3, 2)), np.ones((3, 1)))
+
+
+class TestRandomState:
+    def test_seed_reproducible(self):
+        assert check_random_state(5).random() == check_random_state(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+
+class TestEncodeLabels:
+    def test_string_labels(self):
+        classes, codes = encode_labels(np.array(["b", "a", "b"]))
+        assert list(classes) == ["a", "b"]
+        assert list(codes) == [1, 0, 1]
+
+    def test_codes_index_classes(self):
+        y = np.array([10, 30, 20, 30])
+        classes, codes = encode_labels(y)
+        assert np.array_equal(classes[codes], y)

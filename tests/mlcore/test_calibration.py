@@ -1,0 +1,127 @@
+"""Tests for calibration diagnostics and temperature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.calibration import (
+    TemperatureScaler,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.linear import LogisticRegression
+
+CLASSES = np.array([0, 1])
+
+
+def _perfectly_calibrated(n=4000, seed=0):
+    """Predictions whose confidence equals their accuracy by construction."""
+    rng = np.random.default_rng(seed)
+    p1 = rng.uniform(0.5, 1.0, size=n)
+    proba = np.column_stack([1 - p1, p1])
+    # true label is 1 with probability p1 -> confidence matches accuracy
+    y = (rng.random(n) < p1).astype(int)
+    return proba, y
+
+
+class TestReliabilityCurve:
+    def test_bins_cover_all_samples(self):
+        proba, y = _perfectly_calibrated()
+        conf, acc, count = reliability_curve(proba, y, CLASSES, n_bins=10)
+        assert count.sum() == len(y)
+
+    def test_calibrated_model_on_diagonal(self):
+        proba, y = _perfectly_calibrated()
+        conf, acc, count = reliability_curve(proba, y, CLASSES, n_bins=8)
+        filled = count > 100
+        assert np.all(np.abs(conf[filled] - acc[filled]) < 0.07)
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            reliability_curve(np.array([[0.9, 0.9]]), np.array([0]), CLASSES)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            reliability_curve(np.array([[0.5, 0.5]]), np.array([0, 1]), CLASSES)
+
+    def test_n_bins_validated(self):
+        proba, y = _perfectly_calibrated(100)
+        with pytest.raises(ValueError, match="n_bins"):
+            reliability_curve(proba, y, CLASSES, n_bins=1)
+
+    def test_full_confidence_lands_in_last_bin(self):
+        proba = np.array([[0.0, 1.0]])
+        conf, acc, count = reliability_curve(proba, np.array([1]), CLASSES, n_bins=5)
+        assert count[-1] == 1
+
+
+class TestECE:
+    def test_calibrated_is_near_zero(self):
+        proba, y = _perfectly_calibrated()
+        assert expected_calibration_error(proba, y, CLASSES) < 0.03
+
+    def test_overconfident_is_large(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        y = rng.integers(0, 2, size=n)
+        # claims 99% confidence but is right only half the time
+        proba = np.tile([0.01, 0.99], (n, 1))
+        assert expected_calibration_error(proba, y, CLASSES) > 0.4
+
+    def test_bounded(self):
+        proba, y = _perfectly_calibrated(500, seed=3)
+        ece = expected_calibration_error(proba, y, CLASSES)
+        assert 0.0 <= ece <= 1.0
+
+
+class TestTemperatureScaler:
+    @pytest.fixture(scope="class")
+    def overconfident(self):
+        """A deep forest on noisy data: overconfident on held-out samples."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(600, 4))
+        y = ((X[:, 0] + rng.normal(scale=1.5, size=600)) > 0).astype(int)
+        model = RandomForestClassifier(
+            n_estimators=5, max_depth=None, random_state=0
+        ).fit(X[:300], y[:300])
+        return model, X[300:], y[300:]
+
+    def test_requires_fitted_base(self):
+        with pytest.raises(ValueError, match="fitted base model"):
+            TemperatureScaler(LogisticRegression()).fit(np.ones((10, 2)), np.zeros(10))
+
+    def test_predict_before_fit(self, overconfident):
+        model, X, y = overconfident
+        with pytest.raises(RuntimeError, match="fit"):
+            TemperatureScaler(model).predict_proba(X)
+
+    def test_unseen_class_rejected(self, overconfident):
+        model, X, y = overconfident
+        with pytest.raises(ValueError, match="never saw"):
+            TemperatureScaler(model).fit(X, np.full(len(y), 7))
+
+    def test_reduces_ece_of_overconfident_model(self, overconfident):
+        model, X, y = overconfident
+        scaler = TemperatureScaler(model).fit(X[:150], y[:150])
+        raw_ece = expected_calibration_error(
+            model.predict_proba(X[150:]), y[150:], model.classes_
+        )
+        cal_ece = expected_calibration_error(
+            scaler.predict_proba(X[150:]), y[150:], model.classes_
+        )
+        assert cal_ece <= raw_ece + 0.01
+        assert scaler.temperature_ > 1.0  # softening, as expected
+
+    def test_argmax_preserved(self, overconfident):
+        model, X, y = overconfident
+        scaler = TemperatureScaler(model).fit(X, y)
+        assert np.array_equal(scaler.predict(X), model.predict(X))
+        raw = np.argmax(model.predict_proba(X), axis=1)
+        cal = np.argmax(scaler.predict_proba(X), axis=1)
+        assert np.array_equal(raw, cal)
+
+    def test_rows_still_stochastic(self, overconfident):
+        model, X, y = overconfident
+        scaler = TemperatureScaler(model).fit(X, y)
+        proba = scaler.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,63 @@
+"""Tests for the dummy baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.dummy import MajorityClassifier, StratifiedRandomClassifier
+
+
+@pytest.fixture()
+def skewed():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(100, 3))
+    y = np.array(["healthy"] * 80 + ["membw"] * 20)
+    return X, y
+
+
+class TestMajority:
+    def test_predicts_majority(self, skewed):
+        X, y = skewed
+        clf = MajorityClassifier().fit(X, y)
+        assert np.all(clf.predict(X) == "healthy")
+
+    def test_proba_matches_frequencies(self, skewed):
+        X, y = skewed
+        proba = MajorityClassifier().fit(X, y).predict_proba(X[:3])
+        healthy_col = list(np.unique(y)).index("healthy")
+        assert proba[0, healthy_col] == pytest.approx(0.8)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_accuracy_looks_good_macro_f1_does_not(self, skewed):
+        """The reason the paper reports macro F1, in one test."""
+        from repro.mlcore.metrics import f1_score
+
+        X, y = skewed
+        clf = MajorityClassifier().fit(X, y)
+        pred = clf.predict(X)
+        assert np.mean(pred == y) == pytest.approx(0.8)  # accuracy flatters
+        assert f1_score(y, pred) < 0.5  # macro F1 exposes it
+
+
+class TestStratifiedRandom:
+    def test_draws_follow_distribution(self, skewed):
+        X, y = skewed
+        clf = StratifiedRandomClassifier(random_state=0).fit(X, y)
+        big_X = np.zeros((5000, 3))
+        pred = clf.predict(big_X)
+        assert np.mean(pred == "healthy") == pytest.approx(0.8, abs=0.03)
+
+    def test_reproducible(self, skewed):
+        X, y = skewed
+        a = StratifiedRandomClassifier(random_state=7).fit(X, y).predict(X)
+        b = StratifiedRandomClassifier(random_state=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_real_model_beats_dummies(self, blobs):
+        """Any real experiment should clear this sanity floor."""
+        from repro.mlcore.forest import RandomForestClassifier
+        from repro.mlcore.metrics import f1_score
+
+        X, y = blobs
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        dummy = StratifiedRandomClassifier(random_state=0).fit(X, y)
+        assert f1_score(y, rf.predict(X)) > f1_score(y, dummy.predict(X)) + 0.3

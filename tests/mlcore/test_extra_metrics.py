@@ -1,0 +1,77 @@
+"""Tests for balanced accuracy and Matthews correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    matthews_corrcoef,
+)
+
+
+class TestBalancedAccuracy:
+    def test_perfect(self):
+        y = np.array(["a", "b", "c"])
+        assert balanced_accuracy_score(y, y) == 1.0
+
+    def test_majority_vote_on_skewed_data(self):
+        y_true = np.array(["healthy"] * 90 + ["membw"] * 10)
+        y_pred = np.array(["healthy"] * 100)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_ignores_classes_absent_from_truth(self):
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["a", "b"])  # 'b' predicted but never true
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_hand_computed_multiclass(self):
+        y_true = np.array(["a", "a", "b", "b", "c", "c"])
+        y_pred = np.array(["a", "a", "b", "a", "c", "b"])
+        # recalls: a=1.0, b=0.5, c=0.5
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+class TestMatthews:
+    def test_perfect_is_one(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert matthews_corrcoef(y, y) == pytest.approx(1.0)
+
+    def test_binary_matches_formula(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0, 0, 0, 1, 0])
+        tp, fn, fp, tn = 2, 1, 1, 4
+        expected = (tp * tn - fp * fn) / np.sqrt(
+            (tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+        )
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(expected)
+
+    def test_constant_prediction_is_zero(self):
+        y_true = np.array([0, 1, 0, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        assert matthews_corrcoef(y_true, y_pred) == 0.0
+
+    def test_anticorrelated_binary_is_negative(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([1, 1, 0, 0])
+        assert matthews_corrcoef(y_true, y_pred) == pytest.approx(-1.0)
+
+    @given(n=st.integers(4, 60), seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_in_minus_one_one(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 3, size=n)
+        y_pred = rng.integers(0, 3, size=n)
+        mcc = matthews_corrcoef(y_true, y_pred)
+        assert -1.0 - 1e-9 <= mcc <= 1.0 + 1e-9
+
+    @given(n=st.integers(4, 60), seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_random_predictions_near_zero_on_average(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=200)
+        y_pred = rng.integers(0, 2, size=200)
+        assert abs(matthews_corrcoef(y_true, y_pred)) < 0.35

@@ -1,0 +1,94 @@
+"""Tests for chi-square scoring and SelectKBest."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.feature_selection import SelectKBest, chi2_scores
+
+
+def _informative_data(n=200, seed=0):
+    """Feature 0 strongly depends on the label, features 1-4 are noise."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    X = rng.uniform(0, 1, size=(n, 5))
+    X[:, 0] = y * 0.9 + rng.uniform(0, 0.1, size=n)
+    return X, y
+
+
+class TestChi2:
+    def test_informative_feature_scores_highest(self):
+        X, y = _informative_data()
+        scores = chi2_scores(X, y)
+        assert np.argmax(scores) == 0
+
+    def test_rejects_negative_features(self):
+        X, y = _informative_data()
+        X[0, 1] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            chi2_scores(X, y)
+
+    def test_constant_zero_feature_scores_zero(self):
+        X, y = _informative_data()
+        X[:, 2] = 0.0
+        assert chi2_scores(X, y)[2] == 0.0
+
+    def test_matches_textbook_two_by_two(self):
+        """Binary feature/label contingency: compare to hand-computed chi2."""
+        # 30 samples: class 0 mostly feature off, class 1 mostly feature on
+        y = np.array([0] * 15 + [1] * 15)
+        x = np.array([1.0] * 3 + [0.0] * 12 + [1.0] * 12 + [0.0] * 3)
+        X = x.reshape(-1, 1)
+        # observed sums per class: [3, 12]; expected: [7.5, 7.5]
+        expected_chi2 = (3 - 7.5) ** 2 / 7.5 + (12 - 7.5) ** 2 / 7.5
+        assert np.isclose(chi2_scores(X, y)[0], expected_chi2)
+
+    def test_scale_invariance_in_ranking(self):
+        X, y = _informative_data()
+        s1 = chi2_scores(X, y)
+        s2 = chi2_scores(X * 10.0, y)
+        assert np.array_equal(np.argsort(s1), np.argsort(s2))
+
+
+class TestSelectKBest:
+    def test_keeps_top_k(self):
+        X, y = _informative_data()
+        sel = SelectKBest(k=1).fit(X, y)
+        assert list(sel.get_support()) == [0]
+
+    def test_transform_shape(self):
+        X, y = _informative_data()
+        out = SelectKBest(k=3).fit_transform(X, y)
+        assert out.shape == (len(y), 3)
+
+    def test_k_clipped_to_available(self):
+        X, y = _informative_data()
+        sel = SelectKBest(k=999).fit(X, y)
+        assert len(sel.get_support()) == X.shape[1]
+
+    def test_invalid_k(self):
+        X, y = _informative_data()
+        with pytest.raises(ValueError, match="k must be"):
+            SelectKBest(k=0).fit(X, y)
+
+    def test_support_is_sorted(self):
+        X, y = _informative_data()
+        support = SelectKBest(k=4).fit(X, y).get_support()
+        assert np.array_equal(support, np.sort(support))
+
+    def test_transform_feature_mismatch(self):
+        X, y = _informative_data()
+        sel = SelectKBest(k=2).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            sel.transform(np.ones((2, 9)))
+
+    def test_selected_columns_match_source(self):
+        X, y = _informative_data()
+        sel = SelectKBest(k=2).fit(X, y)
+        out = sel.transform(X)
+        assert np.array_equal(out, X[:, sel.get_support()])
+
+    def test_custom_score_func(self):
+        X, y = _informative_data()
+        variance_score = lambda X, y: X.var(axis=0)
+        sel = SelectKBest(k=1, score_func=variance_score).fit(X, y)
+        assert list(sel.get_support()) == [int(np.argmax(X.var(axis=0)))]

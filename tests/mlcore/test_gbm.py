@@ -1,0 +1,121 @@
+"""Tests for the LightGBM-style gradient boosting classifier."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.gbm import LGBMClassifier, _RegressionTree
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        target = np.where(X[:, 0] > 0.5, 1.0, -1.0)
+        # gradients of squared loss at prediction 0: g = -target, h = 1
+        tree = _RegressionTree(
+            num_leaves=4, max_depth=-1, min_child_samples=1,
+            reg_lambda=0.0, min_split_gain=1e-12, leaf_wise=True,
+        ).fit(X, -target, np.ones(50), np.array([0]))
+        pred = tree.predict(X)
+        assert np.allclose(pred, target, atol=1e-6)
+
+    def test_num_leaves_bound(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        g = rng.normal(size=200)
+        tree = _RegressionTree(
+            num_leaves=5, max_depth=-1, min_child_samples=1,
+            reg_lambda=1.0, min_split_gain=1e-12, leaf_wise=True,
+        ).fit(X, g, np.ones(200), np.arange(3))
+        n_leaves = int(np.sum(tree._feature == -1))
+        assert n_leaves <= 5
+
+    def test_reg_lambda_shrinks_leaf_values(self):
+        X = np.linspace(0, 1, 40).reshape(-1, 1)
+        g = -np.ones(40)
+        h = np.ones(40)
+        low = _RegressionTree(2, -1, 1, 0.0, 1e-12, True).fit(X, g, h, np.array([0]))
+        high = _RegressionTree(2, -1, 1, 50.0, 1e-12, True).fit(X, g, h, np.array([0]))
+        assert abs(high.predict(X)).max() < abs(low.predict(X)).max()
+
+
+class TestLGBMClassifier:
+    def test_learns_blobs(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(n_estimators=25, num_leaves=8, random_state=0).fit(X, y)
+        assert clf.score(X, y) > 0.97
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(n_estimators=10, num_leaves=8, random_state=0).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_more_rounds_reduce_training_error(self, blobs):
+        X, y = blobs
+        rng = np.random.default_rng(0)
+        Xn = X + rng.normal(scale=1.5, size=X.shape)
+        few = LGBMClassifier(n_estimators=2, num_leaves=4, random_state=0).fit(Xn, y)
+        many = LGBMClassifier(n_estimators=40, num_leaves=4, random_state=0).fit(Xn, y)
+        assert many.score(Xn, y) >= few.score(Xn, y)
+
+    def test_learning_rate_zero_point_three(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(
+            n_estimators=10, num_leaves=8, learning_rate=0.3, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_colsample_bytree(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(
+            n_estimators=15, num_leaves=8, colsample_bytree=0.5, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_invalid_colsample(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="colsample"):
+            LGBMClassifier(colsample_bytree=0.0).fit(X, y)
+
+    def test_invalid_growth(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="growth"):
+            LGBMClassifier(growth="best").fit(X, y)
+
+    def test_depth_wise_mode_learns(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(
+            n_estimators=15, num_leaves=8, growth="depth", random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_max_depth_2(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(
+            n_estimators=10, num_leaves=31, max_depth=2, random_state=0
+        ).fit(X, y)
+        for round_trees in clf._trees:
+            for tree in round_trees:
+                # depth-2 tree has at most 4 leaves
+                assert int(np.sum(tree._feature == -1)) <= 4
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (40, 3)), rng.normal(4, 1, (40, 3))])
+        y = np.array(["a"] * 40 + ["b"] * 40)
+        clf = LGBMClassifier(n_estimators=5, num_leaves=4, random_state=0).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_determinism(self, blobs):
+        X, y = blobs
+        p1 = LGBMClassifier(n_estimators=5, colsample_bytree=0.5, random_state=4).fit(X, y).predict_proba(X)
+        p2 = LGBMClassifier(n_estimators=5, colsample_bytree=0.5, random_state=4).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_decision_function_matches_proba_argmax(self, blobs):
+        X, y = blobs
+        clf = LGBMClassifier(n_estimators=8, num_leaves=8, random_state=0).fit(X, y)
+        raw = clf.decision_function(X[:25])
+        proba = clf.predict_proba(X[:25])
+        assert np.array_equal(np.argmax(raw, axis=1), np.argmax(proba, axis=1))

@@ -1,0 +1,77 @@
+"""Tests for impurity-based feature importances (tree + forest)."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.tree import DecisionTreeClassifier
+
+
+def _one_informative(n=300, m=8, seed=0):
+    """Only feature 2 carries label information."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, m))
+    y = (X[:, 2] > 0).astype(int)
+    return X, y
+
+
+class TestTreeImportances:
+    def test_informative_feature_dominates(self):
+        X, y = _one_informative()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+        assert tree.feature_importances_[2] > 0.8
+
+    def test_normalized_to_one(self):
+        X, y = _one_informative()
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.all(tree.feature_importances_ >= 0)
+
+    def test_stump_has_zero_importances(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, np.zeros(10))
+        assert np.all(tree.feature_importances_ == 0)
+
+    def test_two_features_share_importance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 4))
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        imp = tree.feature_importances_
+        assert imp[0] > 0.1 and imp[1] > 0.1
+        assert imp[0] + imp[1] > 0.9
+
+
+class TestForestImportances:
+    def test_informative_feature_dominates(self):
+        X, y = _one_informative()
+        rf = RandomForestClassifier(
+            n_estimators=20, max_depth=4, random_state=0
+        ).fit(X, y)
+        assert np.argmax(rf.feature_importances_) == 2
+
+    def test_sum_near_one(self):
+        X, y = _one_informative()
+        rf = RandomForestClassifier(
+            n_estimators=10, max_depth=4, random_state=0
+        ).fit(X, y)
+        assert rf.feature_importances_.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_subsampled_trees_spread_importance_more(self):
+        """Feature subsampling forces correlated stand-ins to share credit."""
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=300)
+        X = np.column_stack([base + 0.01 * rng.normal(size=300) for _ in range(4)])
+        y = (base > 0).astype(int)
+        full = RandomForestClassifier(
+            n_estimators=20, max_features=None, random_state=0
+        ).fit(X, y)
+        sub = RandomForestClassifier(
+            n_estimators=20, max_features=1, random_state=0
+        ).fit(X, y)
+        # entropy of the importance distribution is higher with subsampling
+        def entropy(p):
+            p = p[p > 0]
+            return -np.sum(p * np.log(p))
+        assert entropy(sub.feature_importances_) >= entropy(full.feature_importances_)

@@ -1,0 +1,100 @@
+"""Tests for logistic regression (L-BFGS l2 / FISTA l1)."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.linear import LogisticRegression
+
+
+def _linear_data(n=200, m=6, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, m))
+    W = rng.normal(scale=2.0, size=(m, k))
+    y = np.argmax(X @ W, axis=1)
+    return X, y
+
+
+class TestL2:
+    def test_learns_linear_problem(self):
+        X, y = _linear_data()
+        clf = LogisticRegression(penalty="l2", C=10.0).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_small_C_shrinks_weights(self):
+        X, y = _linear_data()
+        loose = LogisticRegression(penalty="l2", C=100.0).fit(X, y)
+        tight = LogisticRegression(penalty="l2", C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_binary_problem(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 1, (50, 2)), rng.normal(2, 1, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = LogisticRegression().fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+
+class TestL1:
+    def test_learns_linear_problem(self):
+        X, y = _linear_data()
+        clf = LogisticRegression(penalty="l1", C=10.0, max_iter=2000).fit(X, y)
+        assert clf.score(X, y) > 0.93
+
+    def test_produces_exact_zeros(self):
+        """FISTA's soft-threshold must yield exact sparsity on noise features."""
+        rng = np.random.default_rng(0)
+        X, y = _linear_data(n=300, m=4)
+        X = np.hstack([X, rng.normal(size=(300, 30))])  # 30 pure-noise features
+        clf = LogisticRegression(penalty="l1", C=0.05, max_iter=3000).fit(X, y)
+        assert clf.sparsity_ > 0.1
+
+    def test_l1_sparser_than_l2(self):
+        rng = np.random.default_rng(1)
+        X, y = _linear_data(n=300, m=4, seed=1)
+        X = np.hstack([X, rng.normal(size=(300, 20))])
+        l1 = LogisticRegression(penalty="l1", C=0.05, max_iter=3000).fit(X, y)
+        l2 = LogisticRegression(penalty="l2", C=0.05).fit(X, y)
+        assert l1.sparsity_ > l2.sparsity_
+
+
+class TestValidation:
+    def test_bad_penalty(self):
+        X, y = _linear_data(20)
+        with pytest.raises(ValueError, match="penalty"):
+            LogisticRegression(penalty="elastic").fit(X, y)
+
+    def test_bad_C(self):
+        X, y = _linear_data(20)
+        with pytest.raises(ValueError, match="C must be positive"):
+            LogisticRegression(C=-1.0).fit(X, y)
+
+    def test_feature_mismatch_at_predict(self):
+        X, y = _linear_data(30)
+        clf = LogisticRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            clf.predict(np.ones((2, 99)))
+
+
+class TestProba:
+    @pytest.mark.parametrize("penalty", ["l1", "l2"])
+    def test_rows_sum_to_one(self, penalty):
+        X, y = _linear_data()
+        clf = LogisticRegression(penalty=penalty).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_confidence_grows_away_from_boundary(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 1, (50, 1)), rng.normal(2, 1, (50, 1))])
+        y = np.array([0] * 50 + [1] * 50)
+        clf = LogisticRegression(C=10.0).fit(X, y)
+        p_far = clf.predict_proba(np.array([[5.0]]))[0].max()
+        p_near = clf.predict_proba(np.array([[0.05]]))[0].max()
+        assert p_far > p_near
+
+    def test_string_labels(self):
+        X, y = _linear_data()
+        names = np.array(["healthy", "membw", "dial"])[y]
+        clf = LogisticRegression().fit(X, names)
+        assert set(clf.predict(X)) <= set(names)

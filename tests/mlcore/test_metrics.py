@@ -1,0 +1,185 @@
+"""Tests for the paper's metrics: macro F1, false alarm rate, anomaly miss rate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.metrics import (
+    accuracy_score,
+    anomaly_miss_rate,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    false_alarm_rate,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+
+LABELS = ["healthy", "membw", "dial"]
+
+
+class TestConfusionMatrix:
+    def test_diagonal_on_perfect_prediction(self):
+        y = np.array(["a", "b", "a", "c"])
+        cm, labels = confusion_matrix(y, y)
+        assert np.array_equal(cm, np.diag([2, 1, 1]))
+
+    def test_rows_are_truth(self):
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["b", "b"])
+        cm, labels = confusion_matrix(y_true, y_pred)
+        assert cm[0, 1] == 2 and cm[1, 0] == 0
+
+    def test_explicit_label_order(self):
+        y = np.array(["b", "a"])
+        cm, labels = confusion_matrix(y, y, labels=np.array(["b", "a"]))
+        assert list(labels) == ["b", "a"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            confusion_matrix(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array(["a"]), np.array(["a", "b"]))
+
+
+class TestF1:
+    def test_perfect_is_one(self):
+        y = np.array(["a", "b", "c"])
+        assert f1_score(y, y) == 1.0
+
+    def test_worst_is_zero(self):
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["b", "b"])
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_hand_computed_macro(self):
+        # class a: tp=1 fp=1 fn=1 -> P=R=0.5 -> F1=0.5; class b symmetric
+        y_true = np.array(["a", "a", "b", "b"])
+        y_pred = np.array(["a", "b", "b", "a"])
+        assert np.isclose(f1_score(y_true, y_pred), 0.5)
+
+    def test_weighted_average(self):
+        y_true = np.array(["a"] * 9 + ["b"])
+        y_pred = np.array(["a"] * 9 + ["a"])
+        macro = f1_score(y_true, y_pred, average="macro")
+        weighted = f1_score(y_true, y_pred, average="weighted")
+        assert weighted > macro  # the dominant class is predicted well
+
+    def test_per_class_vector(self):
+        y = np.array(["a", "b"])
+        per_class = f1_score(y, y, average=None)
+        assert np.array_equal(per_class, np.ones(2))
+
+    def test_unknown_average(self):
+        y = np.array(["a", "b"])
+        with pytest.raises(ValueError, match="average"):
+            f1_score(y, y, average="micro-ish")
+
+    def test_class_absent_from_predictions_counts_zero(self):
+        y_true = np.array(["a", "b", "c"])
+        y_pred = np.array(["a", "a", "a"])
+        per_class = f1_score(y_true, y_pred, average=None)
+        assert per_class[1] == 0.0 and per_class[2] == 0.0
+
+
+class TestPrecisionRecall:
+    def test_precision_recall_hand_example(self):
+        y_true = np.array(["a", "a", "b", "b", "b"])
+        y_pred = np.array(["a", "b", "b", "b", "a"])
+        precision, recall, f1, labels = precision_recall_f1(y_true, y_pred)
+        # class a: tp=1, predicted=2 -> P=0.5; actual=2 -> R=0.5
+        assert np.isclose(precision[0], 0.5) and np.isclose(recall[0], 0.5)
+        # class b: tp=2, predicted=3 -> P=2/3; actual=3 -> R=2/3
+        assert np.isclose(precision[1], 2 / 3) and np.isclose(recall[1], 2 / 3)
+
+    def test_macro_wrappers(self):
+        y_true = np.array(["a", "b"])
+        assert precision_score(y_true, y_true) == 1.0
+        assert recall_score(y_true, y_true) == 1.0
+
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+
+
+class TestFalseAlarmRate:
+    def test_zero_when_all_healthy_correct(self):
+        y_true = np.array(["healthy", "healthy", "membw"])
+        y_pred = np.array(["healthy", "healthy", "healthy"])
+        assert false_alarm_rate(y_true, y_pred) == 0.0
+
+    def test_counts_healthy_misclassified_as_any_anomaly(self):
+        y_true = np.array(["healthy", "healthy", "healthy", "healthy"])
+        y_pred = np.array(["membw", "dial", "healthy", "healthy"])
+        assert false_alarm_rate(y_true, y_pred) == 0.5
+
+    def test_no_healthy_samples_gives_zero(self):
+        y_true = np.array(["membw", "dial"])
+        y_pred = np.array(["healthy", "healthy"])
+        assert false_alarm_rate(y_true, y_pred) == 0.0
+
+    def test_custom_healthy_label(self):
+        y_true = np.array([0, 0, 1])
+        y_pred = np.array([1, 0, 1])
+        assert false_alarm_rate(y_true, y_pred, healthy_label=0) == 0.5
+
+
+class TestAnomalyMissRate:
+    def test_counts_anomalous_predicted_healthy(self):
+        y_true = np.array(["membw", "dial", "membw", "healthy"])
+        y_pred = np.array(["healthy", "dial", "membw", "healthy"])
+        assert anomaly_miss_rate(y_true, y_pred) == pytest.approx(1 / 3)
+
+    def test_cross_anomaly_confusion_is_not_a_miss(self):
+        y_true = np.array(["membw", "dial"])
+        y_pred = np.array(["dial", "membw"])
+        assert anomaly_miss_rate(y_true, y_pred) == 0.0
+
+    def test_no_anomalies_gives_zero(self):
+        y_true = np.array(["healthy", "healthy"])
+        y_pred = np.array(["membw", "healthy"])
+        assert anomaly_miss_rate(y_true, y_pred) == 0.0
+
+
+class TestReport:
+    def test_report_contains_all_classes(self):
+        y_true = np.array(["healthy", "membw", "dial"])
+        report = classification_report(y_true, y_true)
+        for cls in ("healthy", "membw", "dial", "macro"):
+            assert cls in report
+
+
+class TestProperties:
+    @given(
+        n=st.integers(2, 60),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f1_bounded_and_symmetric_cases(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.choice(LABELS, size=n)
+        y_pred = rng.choice(LABELS, size=n)
+        score = f1_score(y_true, y_pred)
+        assert 0.0 <= score <= 1.0
+        assert f1_score(y_true, y_true) == 1.0
+
+    @given(n=st.integers(2, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_far_amr_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.choice(LABELS, size=n)
+        y_pred = rng.choice(LABELS, size=n)
+        assert 0.0 <= false_alarm_rate(y_true, y_pred) <= 1.0
+        assert 0.0 <= anomaly_miss_rate(y_true, y_pred) <= 1.0
+
+    @given(n=st.integers(2, 60), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_total_equals_n(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.choice(LABELS, size=n)
+        y_pred = rng.choice(LABELS, size=n)
+        cm, _ = confusion_matrix(y_true, y_pred)
+        assert cm.sum() == n

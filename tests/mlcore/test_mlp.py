@@ -1,0 +1,96 @@
+"""Tests for the MLP classifier."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.mlp import MLPClassifier
+
+
+class TestFit:
+    def test_learns_blobs(self, blobs):
+        X, y = blobs
+        clf = MLPClassifier(
+            hidden_layer_sizes=(32,), max_iter=150, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_learns_xor(self):
+        """A nonlinear problem a linear model cannot solve."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(
+            hidden_layer_sizes=(32, 32), max_iter=300, random_state=0,
+            learning_rate_init=5e-3,
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    @pytest.mark.parametrize(
+        "hidden", [(10, 10, 10), (50, 100, 50), (100,)]
+    )
+    def test_table4_architectures(self, blobs, hidden):
+        X, y = blobs
+        clf = MLPClassifier(
+            hidden_layer_sizes=hidden, max_iter=60, random_state=0
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_loss_decreases(self, blobs):
+        X, y = blobs
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), max_iter=40, random_state=0
+        ).fit(X, y)
+        assert clf.loss_curve_[-1] < clf.loss_curve_[0]
+
+    def test_early_stopping_caps_epochs(self, blobs):
+        X, y = blobs
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), max_iter=500, tol=10.0,
+            n_iter_no_change=3, random_state=0,
+        ).fit(X, y)
+        # an absurd tol means no epoch ever "improves": stop after patience
+        assert clf.n_iter_ <= 10
+
+    def test_invalid_hidden_sizes(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="hidden"):
+            MLPClassifier(hidden_layer_sizes=(0,)).fit(X, y)
+
+
+class TestRegularization:
+    def test_alpha_shrinks_weights(self, blobs):
+        X, y = blobs
+        loose = MLPClassifier(hidden_layer_sizes=(16,), alpha=0.0, max_iter=50, random_state=0).fit(X, y)
+        tight = MLPClassifier(hidden_layer_sizes=(16,), alpha=1.0, max_iter=50, random_state=0).fit(X, y)
+        norm = lambda m: sum(float(np.linalg.norm(W)) for W in m.weights_)
+        assert norm(tight) < norm(loose)
+
+
+class TestProba:
+    def test_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        clf = MLPClassifier(hidden_layer_sizes=(16,), max_iter=30, random_state=0).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_mismatch_raises(self, blobs):
+        X, y = blobs
+        clf = MLPClassifier(hidden_layer_sizes=(8,), max_iter=10, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            clf.predict_proba(np.ones((2, 3)))
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (40, 3)), rng.normal(2, 0.5, (40, 3))])
+        y = np.array(["healthy"] * 40 + ["memleak"] * 40)
+        clf = MLPClassifier(hidden_layer_sizes=(8,), max_iter=60, random_state=0).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self, blobs):
+        X, y = blobs
+        m1 = MLPClassifier(hidden_layer_sizes=(8,), max_iter=15, random_state=9).fit(X, y)
+        m2 = MLPClassifier(hidden_layer_sizes=(8,), max_iter=15, random_state=9).fit(X, y)
+        for W1, W2 in zip(m1.weights_, m2.weights_):
+            assert np.array_equal(W1, W2)

@@ -1,0 +1,160 @@
+"""Tests for stratified splitting, K-fold CV, and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.linear import LogisticRegression
+from repro.mlcore.model_selection import (
+    GridSearchCV,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blobs):
+        X, y = blobs
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert len(Xte) == pytest.approx(0.25 * len(X), abs=4)
+        assert len(Xtr) + len(Xte) == len(X)
+
+    def test_stratification_preserves_class_ratio(self, blobs):
+        X, y = blobs
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=0)
+        for cls in np.unique(y):
+            frac_te = np.mean(yte == cls)
+            frac_full = np.mean(y == cls)
+            assert frac_te == pytest.approx(frac_full, abs=0.05)
+
+    def test_every_class_on_both_sides(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 17 + [1] * 3)
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert set(ytr) == {0, 1} and set(yte) == {0, 1}
+
+    def test_extra_arrays_travel_with_rows(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.array([0, 1] * 5)
+        meta = np.arange(10) * 100
+        Xtr, Xte, ytr, yte, mtr, mte = train_test_split(
+            X, y, meta, test_size=0.3, random_state=0
+        )
+        assert np.array_equal(mtr // 100, Xtr.ravel().astype(int))
+        assert np.array_equal(mte // 100, Xte.ravel().astype(int))
+
+    def test_invalid_test_size(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_unstratified_mode(self, blobs):
+        X, y = blobs
+        Xtr, Xte, ytr, yte = train_test_split(
+            X, y, test_size=0.5, stratify=False, random_state=0
+        )
+        assert len(Xte) == len(X) // 2
+
+    def test_reproducible(self, blobs):
+        X, y = blobs
+        a = train_test_split(X, y, random_state=9)
+        b = train_test_split(X, y, random_state=9)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_the_data(self, blobs):
+        X, y = blobs
+        skf = StratifiedKFold(n_splits=5, random_state=0)
+        seen = np.zeros(len(y), dtype=int)
+        for train_idx, test_idx in skf.split(X, y):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen[test_idx] += 1
+        assert np.all(seen == 1)
+
+    def test_class_balance_in_folds(self, blobs):
+        X, y = blobs
+        for train_idx, test_idx in StratifiedKFold(5, random_state=0).split(X, y):
+            for cls in np.unique(y):
+                assert np.mean(y[test_idx] == cls) == pytest.approx(0.25, abs=0.1)
+
+    def test_tiny_classes_do_not_crash(self):
+        """Classes smaller than n_splits must still be handled (seed sets)."""
+        X = np.arange(12, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 10 + [1, 2])
+        folds = list(StratifiedKFold(5, random_state=0).split(X, y))
+        assert len(folds) == 5
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            StratifiedKFold(n_splits=1)
+
+
+class TestCrossValScore:
+    def test_returns_per_fold_scores(self, blobs):
+        X, y = blobs
+        scores = cross_val_score(
+            LogisticRegression(C=10.0), X, y, cv=4
+        )
+        assert len(scores) == 4
+        assert np.all(scores > 0.9)
+
+    def test_does_not_mutate_prototype(self, blobs):
+        X, y = blobs
+        proto = LogisticRegression()
+        cross_val_score(proto, X, y, cv=3)
+        assert not hasattr(proto, "coef_")
+
+
+class TestGridSearch:
+    def test_finds_better_params_than_worst(self, blobs):
+        """L1 with a vanishing C zeroes every weight (uniform predictions),
+        so the sane C must win the search."""
+        X, y = blobs
+        search = GridSearchCV(
+            LogisticRegression(penalty="l1"),
+            {"C": [1e-8, 10.0]},
+            cv=3,
+        ).fit(X, y)
+        assert search.best_params_["C"] == 10.0
+
+    def test_results_cover_full_grid(self, blobs):
+        X, y = blobs
+        search = GridSearchCV(
+            LogisticRegression(),
+            {"C": [0.1, 1.0], "penalty": ["l1", "l2"]},
+            cv=3,
+        ).fit(X, y)
+        assert len(search.results_) == 4
+        params_seen = {tuple(sorted(r.params.items())) for r in search.results_}
+        assert len(params_seen) == 4
+
+    def test_refit_enables_prediction(self, blobs):
+        X, y = blobs
+        search = GridSearchCV(
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            {"max_depth": [2, 8]},
+            cv=3,
+        ).fit(X, y)
+        assert search.predict(X).shape == (len(y),)
+        assert search.predict_proba(X).shape == (len(y), 4)
+
+    def test_no_refit_mode(self, blobs):
+        X, y = blobs
+        search = GridSearchCV(
+            LogisticRegression(), {"C": [1.0]}, cv=3, refit=False
+        ).fit(X, y)
+        assert not hasattr(search, "best_estimator_")
+
+    def test_empty_grid_raises(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError, match="empty"):
+            GridSearchCV(LogisticRegression(), {"C": []}, cv=3).fit(X, y)
+
+    def test_best_score_is_max_mean(self, blobs):
+        X, y = blobs
+        search = GridSearchCV(
+            LogisticRegression(), {"C": [1e-4, 1.0, 10.0]}, cv=3
+        ).fit(X, y)
+        assert search.best_score_ == max(r.mean_score for r in search.results_)

@@ -1,0 +1,121 @@
+"""Cross-cutting property-based tests for the ML stack.
+
+Invariants that must hold for *any* input, not just the fixtures: these
+are the contracts the active-learning loop and the grid search rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.gbm import LGBMClassifier
+from repro.mlcore.linear import LogisticRegression
+from repro.mlcore.model_selection import StratifiedKFold, train_test_split
+from repro.mlcore.preprocessing import MinMaxScaler
+from repro.mlcore.tree import DecisionTreeClassifier
+
+
+@st.composite
+def dataset(draw, max_n=80, max_m=6, max_k=4):
+    n = draw(st.integers(10, max_n))
+    m = draw(st.integers(1, max_m))
+    k = draw(st.integers(2, max_k))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, m))
+    y = rng.integers(0, k, size=n)
+    # guarantee at least 2 classes appear
+    y[0], y[1] = 0, 1
+    return X, y
+
+
+class TestProbabilityContracts:
+    @given(data=dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_forest_proba_contract(self, data):
+        X, y = data
+        model = RandomForestClassifier(n_estimators=4, max_depth=4, random_state=0)
+        proba = model.fit(X, y).predict_proba(X)
+        assert proba.shape == (len(y), len(model.classes_))
+        assert np.all(proba >= -1e-12)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(data=dataset(max_n=50))
+    @settings(max_examples=12, deadline=None)
+    def test_gbm_proba_contract(self, data):
+        X, y = data
+        model = LGBMClassifier(n_estimators=3, num_leaves=4, random_state=0)
+        proba = model.fit(X, y).predict_proba(X)
+        assert np.all(proba > 0)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @given(data=dataset(max_n=60))
+    @settings(max_examples=15, deadline=None)
+    def test_predict_is_argmax_of_proba(self, data):
+        X, y = data
+        model = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.array_equal(
+            model.predict(X), model.classes_[np.argmax(proba, axis=1)]
+        )
+
+
+class TestSplitContracts:
+    @given(data=dataset(max_n=80))
+    @settings(max_examples=20, deadline=None)
+    def test_train_test_split_partitions(self, data):
+        X, y = data
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert len(Xtr) + len(Xte) == len(X)
+        assert len(ytr) == len(Xtr) and len(yte) == len(Xte)
+        # multiset of labels is preserved
+        assert sorted(np.concatenate([ytr, yte])) == sorted(y)
+
+    @given(data=dataset(max_n=80), n_splits=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_kfold_covers_each_sample_once(self, data, n_splits):
+        X, y = data
+        seen = np.zeros(len(y), dtype=int)
+        for train_idx, test_idx in StratifiedKFold(
+            n_splits=n_splits, random_state=0
+        ).split(X, y):
+            seen[test_idx] += 1
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+        assert np.all(seen == 1)
+
+
+class TestScalerContracts:
+    @given(data=dataset(max_n=60))
+    @settings(max_examples=20, deadline=None)
+    def test_transform_inverse_roundtrip(self, data):
+        X, _ = data
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
+
+    @given(data=dataset(max_n=60), shift=st.floats(-100, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_is_shift_invariant_in_output(self, data, shift):
+        X, _ = data
+        a = MinMaxScaler().fit_transform(X)
+        b = MinMaxScaler().fit_transform(X + shift)
+        assert np.allclose(a, b, atol=1e-7)
+
+
+class TestModelDeterminismContracts:
+    @given(data=dataset(max_n=50), seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_model(self, data, seed):
+        X, y = data
+        a = RandomForestClassifier(n_estimators=3, random_state=seed).fit(X, y)
+        b = RandomForestClassifier(n_estimators=3, random_state=seed).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    @given(data=dataset(max_n=60))
+    @settings(max_examples=10, deadline=None)
+    def test_logistic_regression_deterministic(self, data):
+        X, y = data
+        a = LogisticRegression(max_iter=50).fit(X, y)
+        b = LogisticRegression(max_iter=50).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)

@@ -1,0 +1,157 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlcore.tree import DecisionTreeClassifier
+
+
+def _xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestFitBasics:
+    def test_perfectly_separable_is_memorized(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_xor_needs_depth_two(self):
+        X, y = _xor_data()
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)
+        assert deep.score(X, y) > 0.95
+
+    def test_single_class_gives_stump(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        tree = DecisionTreeClassifier().fit(X, np.zeros(10))
+        assert tree.node_count_ == 1
+        assert np.all(tree.predict(X) == 0)
+
+    def test_max_depth_zero_is_majority_vote(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.node_count_ == 1
+        counts = np.bincount(y)
+        assert np.all(tree.predict(X) == np.argmax(counts))
+
+    def test_depth_respects_bound(self):
+        X, y = _xor_data(400)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = _xor_data(100)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        leaves = tree.tree_feature_ == -1
+        # every leaf frequency row was computed from >= 20 samples; check
+        # by pushing training data through and counting occupancy
+        leaf_ids = tree._leaf_indices(X)
+        _, counts = np.unique(leaf_ids, return_counts=True)
+        assert counts.min() >= 20
+        assert leaves.sum() == len(counts)
+
+    def test_min_samples_split(self):
+        X, y = _xor_data(64)
+        tree = DecisionTreeClassifier(min_samples_split=65).fit(X, y)
+        assert tree.node_count_ == 1
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["healthy", "healthy", "membw", "membw"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {"healthy", "membw"}
+
+
+class TestCriteria:
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    def test_both_criteria_learn(self, criterion):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(criterion=criterion, max_depth=5).fit(X, y)
+        assert tree.score(X, y) > 0.9
+
+
+class TestProba:
+    def test_rows_sum_to_one(self):
+        X, y = _xor_data()
+        proba = DecisionTreeClassifier(max_depth=3).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_pure_leaves_give_hard_probabilities(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        proba = DecisionTreeClassifier().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.max(axis=1), 1.0)
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict_proba(np.ones((2, 5)))
+
+
+class TestFeatureSubsampling:
+    def test_max_features_sqrt_still_learns(self):
+        X, y = _xor_data(400)
+        tree = DecisionTreeClassifier(
+            max_features="sqrt", max_depth=8, random_state=0
+        ).fit(X, y)
+        assert tree.score(X, y) > 0.8
+
+    def test_invalid_max_features(self):
+        X, y = _xor_data()
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=0).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=1.5).fit(X, y)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features="bogus").fit(X, y)
+
+    def test_int_and_float_max_features(self):
+        X, y = _xor_data()
+        for mf in (1, 0.5, "log2", None):
+            DecisionTreeClassifier(max_features=mf, random_state=0).fit(X, y)
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        X, y = _xor_data(300, seed=3)
+        t1 = DecisionTreeClassifier(max_features="sqrt", random_state=11).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features="sqrt", random_state=11).fit(X, y)
+        assert np.array_equal(t1.tree_feature_, t2.tree_feature_)
+        assert np.allclose(t1.tree_threshold_, t2.tree_threshold_)
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(min_value=8, max_value=60),
+        m=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_is_perfect_without_limits(self, n, m, seed):
+        """An unconstrained tree memorizes any dataset with distinct rows."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, m))
+        # ensure rows are distinct so memorization is possible
+        X[:, 0] += np.arange(n) * 1e-3
+        y = rng.integers(0, 3, size=n)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_proba_rows_always_stochastic(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.integers(0, 4, size=40)
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert np.all(proba >= 0)
+        assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,98 @@
+"""Tests for the metric catalog."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.catalog import (
+    RESOURCE_DIMS,
+    MetricKind,
+    Subsystem,
+    build_catalog,
+    eclipse_catalog,
+    volta_catalog,
+)
+
+
+class TestBuild:
+    def test_paper_metric_counts(self):
+        """Full-scale catalogs match the paper: 721 (Volta), 806 (Eclipse)."""
+        assert len(volta_catalog()) == 721
+        assert len(eclipse_catalog()) == 806
+
+    def test_scaled_catalogs_shrink(self):
+        assert len(volta_catalog(scale=0.1)) < 721
+
+    def test_all_subsystems_present(self):
+        cat = build_catalog(n_cores=2, n_nics=1, n_extra_cray=4)
+        present = {s.subsystem for s in cat}
+        assert present == set(Subsystem)
+
+    def test_names_unique(self):
+        cat = volta_catalog(scale=0.2)
+        assert len(set(cat.names)) == len(cat)
+
+    def test_core_count_scales_cpu_group(self):
+        small = build_catalog(n_cores=2)
+        big = build_catalog(n_cores=8)
+        assert len(big.by_subsystem(Subsystem.CPU)) == 4 * len(
+            small.by_subsystem(Subsystem.CPU)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_catalog(n_cores=0)
+
+
+class TestDeterminism:
+    def test_same_params_identical_catalog(self):
+        a = build_catalog(n_cores=3, n_nics=2, n_extra_cray=6)
+        b = build_catalog(n_cores=3, n_nics=2, n_extra_cray=6)
+        assert a.names == b.names
+        assert np.array_equal(a.response_matrix, b.response_matrix)
+        assert np.array_equal(a.baselines, b.baselines)
+
+
+class TestVectorizedViews:
+    @pytest.fixture(scope="class")
+    def cat(self):
+        return build_catalog(n_cores=2, n_nics=1, n_extra_cray=4)
+
+    def test_response_matrix_shape(self, cat):
+        assert cat.response_matrix.shape == (len(cat), len(RESOURCE_DIMS))
+
+    def test_counter_mask_matches_kinds(self, cat):
+        mask = cat.counter_mask
+        for spec, flag in zip(cat, mask):
+            assert flag == (spec.kind is MetricKind.COUNTER)
+
+    def test_noise_scales_positive(self, cat):
+        assert np.all(cat.noise_scales > 0)
+
+    def test_respond_linearity(self, cat):
+        spec = cat.specs[0]
+        demand = np.ones((4, len(RESOURCE_DIMS)))
+        out = spec.respond(demand)
+        assert out.shape == (4,)
+        assert np.allclose(out, spec.baseline + np.sum(spec.response))
+
+
+class TestSemantics:
+    def test_cpu_user_metrics_respond_to_cpu(self):
+        cat = build_catalog(n_cores=2)
+        user = next(s for s in cat if s.name == "procstat.cpu0.user")
+        assert user.response[RESOURCE_DIMS.index("cpu")] > 0.5
+
+    def test_idle_metric_anticorrelates_with_cpu(self):
+        cat = build_catalog(n_cores=2)
+        idle = next(s for s in cat if s.name == "procstat.cpu0.idle")
+        assert idle.response[RESOURCE_DIMS.index("cpu")] < 0
+
+    def test_memfree_anticorrelates_with_mem(self):
+        cat = build_catalog()
+        memfree = next(s for s in cat if s.name == "meminfo.MemFree")
+        assert memfree.response[RESOURCE_DIMS.index("mem")] < 0
+
+    def test_network_metrics_are_counters(self):
+        cat = build_catalog()
+        for spec in cat.by_subsystem(Subsystem.NETWORK):
+            assert spec.kind is MetricKind.COUNTER

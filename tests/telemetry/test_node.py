@@ -1,0 +1,87 @@
+"""Tests for the compute-node resource model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.catalog import RESOURCE_DIMS
+from repro.telemetry.node import ECLIPSE_NODE, VOLTA_NODE, NodeProfile
+
+D = len(RESOURCE_DIMS)
+
+
+class TestProfiles:
+    def test_paper_hardware(self):
+        assert VOLTA_NODE.n_cores == 48 and VOLTA_NODE.mem_gb == 64
+        assert ECLIPSE_NODE.n_cores == 72 and ECLIPSE_NODE.mem_gb == 128
+
+    def test_invalid_capacity_length(self):
+        with pytest.raises(ValueError, match="entries"):
+            NodeProfile(name="x", n_cores=1, mem_gb=1, capacity=(1.0,))
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            NodeProfile(name="x", n_cores=1, mem_gb=1, capacity=(0.0,) * D)
+
+
+class TestUtilize:
+    def test_low_demand_passes_through(self):
+        demand = np.full((5, D), 0.3)
+        util = VOLTA_NODE.utilize(demand)
+        assert np.allclose(util, 0.3, atol=0.01)
+
+    def test_overload_saturates_near_capacity(self):
+        demand = np.full((5, D), 5.0)
+        util = VOLTA_NODE.utilize(demand)
+        assert np.all(util <= 1.01)
+        assert np.all(util > 0.9)
+
+    def test_monotone_in_demand(self):
+        d1 = np.full((1, D), 0.4)
+        d2 = np.full((1, D), 0.8)
+        assert np.all(VOLTA_NODE.utilize(d2) >= VOLTA_NODE.utilize(d1))
+
+    def test_negative_demand_clipped(self):
+        demand = np.full((2, D), -1.0)
+        assert np.all(VOLTA_NODE.utilize(demand) == 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="demand"):
+            VOLTA_NODE.utilize(np.ones((3, D + 1)))
+
+    @given(
+        level=st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_utilization_never_exceeds_capacity_envelope(self, level):
+        util = VOLTA_NODE.utilize(np.full((1, D), level))
+        # soft-min is bounded by both demand and capacity
+        assert np.all(util <= level + 1e-9)
+        assert np.all(util <= 1.0 + 1e-9)
+
+
+class TestSlowdown:
+    def test_no_contention_no_slowdown(self):
+        app = np.full((3, D), 0.4)
+        assert np.allclose(VOLTA_NODE.slowdown(app, app), 1.0)
+
+    def test_oversubscription_slows_app(self):
+        app = np.full((3, D), 0.6)
+        total = np.full((3, D), 1.5)
+        s = VOLTA_NODE.slowdown(app, total)
+        assert np.all(s < 1.0)
+        assert np.allclose(s, 1.0 / 1.5)
+
+    def test_unused_dimension_cannot_slow(self):
+        app = np.zeros((2, D))
+        app[:, 0] = 0.5  # uses cpu only
+        total = app.copy()
+        total[:, 1] = 3.0  # cache is swamped by someone else
+        assert np.allclose(VOLTA_NODE.slowdown(app, total), 1.0)
+
+    def test_worst_dimension_dominates(self):
+        app = np.full((1, D), 0.5)
+        total = np.full((1, D), 1.0)
+        total[0, 2] = 2.0
+        assert np.allclose(VOLTA_NODE.slowdown(app, total), 0.5)

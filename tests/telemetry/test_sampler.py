@@ -1,0 +1,106 @@
+"""Tests for the 1 Hz telemetry sampler."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.catalog import RESOURCE_DIMS, build_catalog
+from repro.telemetry.node import VOLTA_NODE
+from repro.telemetry.sampler import TelemetrySampler
+
+D = len(RESOURCE_DIMS)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(n_cores=2, n_nics=1, n_extra_cray=4)
+
+
+@pytest.fixture(scope="module")
+def demand():
+    rng = np.random.default_rng(0)
+    return np.clip(0.5 + 0.1 * rng.normal(size=(100, D)), 0, 1)
+
+
+class TestShapes:
+    def test_output_shape(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.0)
+        out = sampler.sample(demand, rng=0)
+        assert out.shape == (100, len(catalog))
+
+    def test_bad_demand_shape(self, catalog):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE)
+        with pytest.raises(ValueError, match="demand"):
+            sampler.sample(np.ones((10, D + 2)), rng=0)
+
+    def test_invalid_missing_rate(self, catalog):
+        with pytest.raises(ValueError, match="missing_rate"):
+            TelemetrySampler(catalog, VOLTA_NODE, missing_rate=1.0)
+
+    def test_invalid_burst(self, catalog):
+        with pytest.raises(ValueError, match="missing_burst"):
+            TelemetrySampler(catalog, VOLTA_NODE, missing_burst=0.5)
+
+
+class TestCounters:
+    def test_counters_monotone_nondecreasing(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.0)
+        out = sampler.sample(demand, rng=1)
+        counters = catalog.counter_mask
+        diffs = np.diff(out[:, counters], axis=0)
+        assert np.all(diffs >= 0)
+
+    def test_gauges_fluctuate(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.0)
+        out = sampler.sample(demand, rng=1)
+        gauges = ~catalog.counter_mask
+        assert np.any(np.diff(out[:, gauges], axis=0) < 0)
+
+    def test_counter_rate_tracks_demand(self, catalog):
+        """Doubling demand raises the accumulation rate of coupled counters."""
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.0)
+        low = sampler.sample(np.full((50, D), 0.2), rng=2)
+        high = sampler.sample(np.full((50, D), 0.8), rng=2)
+        counters = catalog.counter_mask
+        assert high[-1, counters].sum() > low[-1, counters].sum()
+
+
+class TestMissingness:
+    def test_zero_rate_no_nans(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.0)
+        assert not np.isnan(sampler.sample(demand, rng=0)).any()
+
+    def test_marginal_rate_approximate(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.05)
+        out = sampler.sample(demand, rng=3)
+        rate = np.isnan(out).mean()
+        assert 0.01 < rate < 0.12
+
+    def test_bursts_are_consecutive(self, catalog):
+        """With burst length 5, missing runs should often exceed 1 sample."""
+        sampler = TelemetrySampler(
+            catalog, VOLTA_NODE, missing_rate=0.05, missing_burst=5.0
+        )
+        out = sampler.sample(np.full((300, D), 0.5), rng=4)
+        nan_mask = np.isnan(out)
+        # measure run lengths down columns
+        run_lengths = []
+        for j in range(nan_mask.shape[1]):
+            col = nan_mask[:, j]
+            run = 0
+            for v in col:
+                if v:
+                    run += 1
+                elif run:
+                    run_lengths.append(run)
+                    run = 0
+            if run:
+                run_lengths.append(run)
+        assert run_lengths and max(run_lengths) >= 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self, catalog, demand):
+        sampler = TelemetrySampler(catalog, VOLTA_NODE, missing_rate=0.01)
+        a = sampler.sample(demand, rng=9)
+        b = sampler.sample(demand, rng=9)
+        assert np.array_equal(a, b, equal_nan=True)

@@ -1,0 +1,141 @@
+"""Tests for the command-line interface and run-archive IO."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.generate import generate_runs
+from repro.datasets.runs_io import load_runs, save_runs
+
+
+class TestRunsIO:
+    def test_roundtrip(self, tiny_config, tmp_path):
+        runs = generate_runs(tiny_config, rng=0)[:8]
+        path = save_runs(runs, tmp_path / "runs.npz")
+        back = load_runs(path)
+        assert len(back) == 8
+        assert back[0].app == runs[0].app
+        assert back[3].label == runs[3].label
+        assert np.array_equal(back[0].data, runs[0].data, equal_nan=True)
+        assert back[0].metric_names == runs[0].metric_names
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no runs"):
+            save_runs([], tmp_path / "x.npz")
+
+    def test_heterogeneous_rejected(self, tiny_config, tmp_path):
+        runs = generate_runs(tiny_config, rng=0)[:2]
+        short = runs[0]
+        import dataclasses
+
+        long = dataclasses.replace(runs[1])
+        long.data = np.vstack([long.data, long.data])
+        with pytest.raises(ValueError, match="heterogeneous"):
+            save_runs([short, long], tmp_path / "x.npz")
+
+    def test_anomaly_none_roundtrip(self, tiny_config, tmp_path):
+        runs = [r for r in generate_runs(tiny_config, rng=0) if r.anomaly is None][:2]
+        back = load_runs(save_runs(runs, tmp_path / "h.npz"))
+        assert all(r.anomaly is None for r in back)
+        assert all(r.label == "healthy" for r in back)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_collect_defaults(self):
+        args = build_parser().parse_args(["collect", "--out", "x.npz"])
+        assert args.system == "volta"
+        assert args.scale == 0.05
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["collect", "--system", "summit", "--out", "x"])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        parser.parse_args(["info"])
+        parser.parse_args(["train", "--runs", "r.npz", "--out", "m.pkl"])
+        parser.parse_args(["diagnose", "--model", "m.pkl", "--runs", "r.npz"])
+        parser.parse_args(["evaluate", "--model", "m.pkl", "--runs", "r.npz"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--system", "volta"]) == 0
+        out = capsys.readouterr().out
+        assert "Kripke" in out
+        assert "membw" in out
+        assert "721" in out
+
+    def test_collect_train_diagnose_evaluate_pipeline(self, tmp_path, capsys):
+        runs_path = tmp_path / "runs.npz"
+        model_path = tmp_path / "model.pkl"
+        # small, fast campaign
+        assert main([
+            "collect", "--system", "volta", "--scale", "0.03",
+            "--healthy-per-cell", "2", "--anomalous-per-cell", "2",
+            "--duration", "96", "--seed", "1", "--out", str(runs_path),
+        ]) == 0
+        assert runs_path.exists()
+
+        assert main([
+            "train", "--runs", str(runs_path), "--system", "volta",
+            "--scale", "0.03", "--n-features", "80",
+            "--max-queries", "5", "--seed", "1", "--out", str(model_path),
+        ]) == 0
+        assert model_path.exists()
+        out = capsys.readouterr().out
+        assert "active learning" in out
+
+        assert main([
+            "diagnose", "--model", str(model_path),
+            "--runs", str(runs_path), "--limit", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("confidence") == 4
+
+        assert main([
+            "evaluate", "--model", str(model_path), "--runs", str(runs_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "macro F1" in out
+        assert "false alarm rate" in out
+
+    def test_train_on_too_small_archive_fails_cleanly(self, tiny_config, tmp_path):
+        runs = generate_runs(tiny_config, rng=0)[:3]
+        path = save_runs(runs, tmp_path / "tiny.npz")
+        code = main([
+            "train", "--runs", str(path), "--out", str(tmp_path / "m.pkl"),
+        ])
+        assert code == 2
+
+
+class TestInfoEclipse:
+    def test_info_eclipse(self, capsys):
+        assert main(["info", "--system", "eclipse"]) == 0
+        out = capsys.readouterr().out
+        assert "HACC" in out and "806" in out
+
+
+class TestDiagnoseLimit:
+    def test_limit_larger_than_archive(self, tiny_config, tmp_path, capsys):
+        from repro.core import ALBADross, FrameworkConfig, save_framework
+
+        runs = generate_runs(tiny_config, rng=3)[:12]
+        archive = save_runs(runs, tmp_path / "r.npz")
+        fw = ALBADross(
+            tiny_config.catalog,
+            FrameworkConfig(n_features=40, model_params={"n_estimators": 4}),
+        )
+        fw.fit_features(runs)
+        fw.fit_initial(runs, [r.label for r in runs])
+        model = save_framework(fw, tmp_path / "m.pkl")
+        assert main([
+            "diagnose", "--model", str(model), "--runs", str(archive),
+            "--limit", "999",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("confidence") == 12

@@ -1,0 +1,133 @@
+"""Failure-injection tests: degraded telemetry must not crash the pipeline.
+
+Production monitoring data is ugly: sampler stalls lose whole windows,
+metrics flatline, counters wrap, nodes die mid-run. The pipeline's
+contract is (a) never crash on repairable damage, (b) fail loudly —
+with a clear message — on unrepairable damage, and (c) keep diagnosis
+output well-formed when test-time data is worse than training data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.mvts import extract_mvts
+from repro.features.pipeline import FeatureExtractor, interpolate_missing, preprocess_run
+from repro.mlcore.forest import RandomForestClassifier
+from repro.mlcore.preprocessing import MinMaxScaler
+
+
+@pytest.fixture(scope="module")
+def runs(tiny_config):
+    from repro.datasets.generate import generate_runs
+
+    return generate_runs(tiny_config, rng=11)
+
+
+class TestMissingDataFloods:
+    def test_heavy_missingness_is_repaired(self, tiny_config, runs):
+        run = runs[0]
+        damaged = run.data.copy()
+        rng = np.random.default_rng(0)
+        mask = rng.random(damaged.shape) < 0.4  # 40% loss
+        damaged[mask] = np.nan
+        out = preprocess_run(damaged, tiny_config.catalog.counter_mask)
+        assert not np.isnan(out).any()
+
+    def test_entire_metric_missing_becomes_zero(self, tiny_config, runs):
+        damaged = runs[0].data.copy()
+        damaged[:, 5] = np.nan
+        out = preprocess_run(damaged, tiny_config.catalog.counter_mask)
+        assert not np.isnan(out).any()
+
+    def test_leading_and_trailing_gaps(self, tiny_config, runs):
+        damaged = runs[0].data.copy()
+        damaged[:10] = np.nan
+        damaged[-10:] = np.nan
+        out = preprocess_run(damaged, tiny_config.catalog.counter_mask)
+        assert not np.isnan(out).any()
+
+    def test_alternating_loss_pattern(self):
+        col = np.arange(40, dtype=float).reshape(-1, 1)
+        col[::2] = np.nan
+        out = interpolate_missing(col)
+        assert not np.isnan(out).any()
+        # linear data survives linear interpolation exactly (interior)
+        assert np.allclose(out[1:-1, 0], np.arange(40)[1:-1], atol=1.0)
+
+
+class TestDegenerateSeries:
+    def test_flatlined_run_features_finite(self):
+        flat = np.full((64, 5), 3.0)
+        assert np.all(np.isfinite(extract_mvts(flat)))
+
+    def test_single_spike_features_finite(self):
+        data = np.zeros((64, 2))
+        data[32, 0] = 1e12
+        assert np.all(np.isfinite(extract_mvts(data)))
+
+    def test_giant_counter_values(self, tiny_config):
+        """Counters near float precision: the diff path must stay finite."""
+        T = 64
+        data = np.tile(np.arange(T, dtype=np.float64)[:, None] * 1e12, (1, 4))
+        mask = np.array([True, True, False, False])
+        out = preprocess_run(data, mask, trim_frac=(0.0, 0.0))
+        assert np.all(np.isfinite(out))
+
+    def test_negative_gauge_values(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(-100, 10, size=(64, 3))
+        assert np.all(np.isfinite(extract_mvts(data)))
+
+
+class TestTruncatedRuns:
+    def test_run_shorter_than_trim_rejected_loudly(self, tiny_config):
+        with pytest.raises(ValueError, match="too short"):
+            preprocess_run(
+                np.ones((12, 3)), np.zeros(3, dtype=bool), trim_frac=(0.4, 0.4)
+            )
+
+    def test_extractor_rejects_tiny_run(self, tiny_config, runs):
+        import dataclasses
+
+        stub = dataclasses.replace(runs[0])
+        stub.data = runs[0].data[:6]
+        fe = FeatureExtractor(tiny_config.catalog, method="mvts")
+        with pytest.raises(ValueError):
+            fe.fit_transform([stub])
+
+
+class TestTestTimeDamage:
+    """Damage appearing only at diagnosis time (training data was clean)."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_config, runs):
+        fe = FeatureExtractor(tiny_config.catalog, method="mvts")
+        ds = fe.fit_transform(runs)
+        scaler = MinMaxScaler(clip=True)
+        X = scaler.fit_transform(ds.X)
+        model = RandomForestClassifier(n_estimators=8, random_state=0).fit(
+            X, ds.labels
+        )
+        return fe, scaler, model
+
+    def test_damaged_run_gets_a_wellformed_diagnosis(self, trained, runs):
+        import dataclasses
+
+        fe, scaler, model = trained
+        victim = dataclasses.replace(runs[0])
+        victim.data = runs[0].data.copy()
+        victim.data[:, ::3] = np.nan  # a third of the metrics lost entirely
+        feats = scaler.transform(fe.transform([victim]).X)
+        proba = model.predict_proba(feats)
+        assert np.all(np.isfinite(proba))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_out_of_range_values_clipped_by_scaler(self, trained, runs):
+        import dataclasses
+
+        fe, scaler, model = trained
+        victim = dataclasses.replace(runs[0])
+        victim.data = runs[0].data * 1e6  # absurd amplitudes
+        feats = scaler.transform(fe.transform([victim]).X)
+        assert feats.min() >= 0.0 and feats.max() <= 1.0
+        assert model.predict(feats).shape == (1,)

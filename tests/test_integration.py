@@ -1,0 +1,151 @@
+"""Cross-module integration tests: the paper's pipeline end to end.
+
+These tie the substrates together the way the benchmarks do, at miniature
+scale, so a regression anywhere in the chain (telemetry → features →
+splits → models → AL loop → metrics) surfaces here before the expensive
+bench suite runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active import (
+    RandomSelector,
+    queries_to_reach,
+    run_active_learning,
+)
+from repro.datasets import (
+    make_app_holdout_split,
+    make_input_holdout_split,
+    make_standard_split,
+    prepare,
+)
+from repro.experiments import run_methods
+from repro.mlcore import (
+    RandomForestClassifier,
+    anomaly_miss_rate,
+    f1_score,
+    false_alarm_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def prep(volta_mini):
+    _, ds, _ = volta_mini
+    return prepare(make_standard_split(ds, rng=0), k_features=120)
+
+
+def _rf(n=10):
+    return RandomForestClassifier(n_estimators=n, max_depth=8, random_state=0)
+
+
+class TestFullPipeline:
+    def test_full_train_beats_chance_clearly(self, prep):
+        X = np.vstack([prep.X_seed, prep.X_pool])
+        y = np.concatenate([prep.y_seed, prep.y_pool])
+        model = _rf(20).fit(X, y)
+        pred = model.predict(prep.X_test)
+        assert f1_score(prep.y_test, pred) > 0.5
+        assert false_alarm_rate(prep.y_test, pred) < 0.5
+
+    def test_al_loop_runs_and_improves_far(self, prep):
+        res = run_active_learning(
+            _rf(), "uncertainty",
+            prep.X_seed, prep.y_seed,
+            prep.X_pool, prep.y_pool,
+            prep.X_test, prep.y_test,
+            n_queries=25, random_state=0,
+        )
+        assert res.far[-1] <= res.far[0]
+        assert res.oracle.n_queries == 25
+
+    def test_al_final_f1_not_below_start_much(self, prep):
+        res = run_active_learning(
+            _rf(), "margin",
+            prep.X_seed, prep.y_seed,
+            prep.X_pool, prep.y_pool,
+            prep.X_test, prep.y_test,
+            n_queries=25, random_state=0,
+        )
+        assert res.final_f1 > res.initial_f1 - 0.1
+
+    def test_healthy_dominates_early_queries(self, prep):
+        """The paper's Fig. 4 mechanism at miniature scale."""
+        res = run_active_learning(
+            _rf(), "uncertainty",
+            prep.X_seed, prep.y_seed,
+            prep.X_pool, prep.y_pool,
+            prep.X_test, prep.y_test,
+            n_queries=20, random_state=0,
+        )
+        labels = [str(v) for v in res.queried_labels]
+        assert labels.count("healthy") >= len(labels) * 0.4
+
+    def test_strategy_and_random_share_seed_model(self, prep):
+        """Both methods must start from the same initial score."""
+        kwargs = dict(n_queries=5, random_state=0)
+        a = run_active_learning(
+            _rf(), "uncertainty", prep.X_seed, prep.y_seed,
+            prep.X_pool, prep.y_pool, prep.X_test, prep.y_test, **kwargs,
+        )
+        b = run_active_learning(
+            _rf(), RandomSelector(), prep.X_seed, prep.y_seed,
+            prep.X_pool, prep.y_pool, prep.X_test, prep.y_test, **kwargs,
+        )
+        assert a.initial_f1 == b.initial_f1
+
+
+class TestHoldoutScenarios:
+    def test_unseen_inputs_start_worse_than_standard(self, volta_mini):
+        _, ds, _ = volta_mini
+        standard = prepare(make_standard_split(ds, rng=0), k_features=120)
+        holdout = prepare(make_input_holdout_split(ds, 0, rng=0), k_features=120)
+
+        def start_f1(p):
+            model = _rf().fit(p.X_seed, p.y_seed)
+            return f1_score(p.y_test, model.predict(p.X_test))
+
+        assert start_f1(holdout) < start_f1(standard) + 0.05
+
+    def test_unseen_apps_hurt(self, volta_mini):
+        _, ds, _ = volta_mini
+        apps = sorted(set(ds.apps))
+        holdout = prepare(
+            make_app_holdout_split(ds, apps[:2], rng=0), k_features=120
+        )
+        X = np.vstack([holdout.X_seed, holdout.X_pool])
+        y = np.concatenate([holdout.y_seed, holdout.y_pool])
+        model = _rf(20).fit(X, y)
+        f1_unseen = f1_score(holdout.y_test, model.predict(holdout.X_test))
+
+        standard = prepare(make_standard_split(ds, rng=0), k_features=120)
+        Xs = np.vstack([standard.X_seed, standard.X_pool])
+        ys = np.concatenate([standard.y_seed, standard.y_pool])
+        f1_std = f1_score(
+            standard.y_test, _rf(20).fit(Xs, ys).predict(standard.X_test)
+        )
+        assert f1_unseen < f1_std
+
+    def test_miss_rate_defined_on_holdout(self, volta_mini):
+        _, ds, _ = volta_mini
+        holdout = prepare(make_input_holdout_split(ds, 0, rng=0), k_features=120)
+        model = _rf().fit(holdout.X_seed, holdout.y_seed)
+        pred = model.predict(holdout.X_test)
+        amr = anomaly_miss_rate(holdout.y_test, pred)
+        assert 0.0 <= amr <= 1.0
+
+
+class TestRunnerIntegration:
+    def test_run_methods_full_grid_tiny(self, volta_mini):
+        _, ds, _ = volta_mini
+        preps = [prepare(make_standard_split(ds, rng=r), k_features=80) for r in range(2)]
+        result = run_methods(
+            preps,
+            methods=("uncertainty", "random"),
+            n_queries=5,
+            model_params={"n_estimators": 5},
+        )
+        stats = result.stats("uncertainty")
+        assert stats.n_splits == 2
+        assert len(stats.f1_mean) == 6
+        assert result.queries_to_reach("uncertainty", 0.0) == 0

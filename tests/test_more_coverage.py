@@ -1,0 +1,154 @@
+"""Additional cross-cutting coverage: paths the main suites touch lightly."""
+
+import numpy as np
+import pytest
+
+from repro.active import run_active_learning
+from repro.mlcore import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def blobs6():
+    """A 6-class problem shaped like the diagnosis task (healthy-majority)."""
+    rng = np.random.default_rng(0)
+    classes = ["healthy", "cpuoccupy", "cachecopy", "membw", "memleak", "dial"]
+    centers = rng.normal(scale=5.0, size=(6, 8))
+    X_parts, y_parts = [], []
+    for i, cls in enumerate(classes):
+        n = 120 if cls == "healthy" else 24
+        X_parts.append(centers[i] + rng.normal(size=(n, 8)))
+        y_parts.extend([cls] * n)
+    X = np.vstack(X_parts)
+    y = np.array(y_parts)
+    perm = rng.permutation(len(y))
+    return X[perm], y[perm]
+
+
+class TestLoopCombinations:
+    def _setup(self, blobs6):
+        X, y = blobs6
+        seed_idx, seen = [], set()
+        for i, label in enumerate(y):
+            if label not in seen:
+                seen.add(label)
+                seed_idx.append(i)
+        rest = np.setdiff1d(np.arange(len(y)), seed_idx)
+        pool, test = rest[: len(rest) // 2], rest[len(rest) // 2 :]
+        return X[seed_idx], y[seed_idx], X[pool], y[pool], X[test], y[test]
+
+    def test_eval_every_with_target(self, blobs6):
+        Xs, ys, Xp, yp, Xt, yt = self._setup(blobs6)
+        res = run_active_learning(
+            RandomForestClassifier(n_estimators=8, random_state=0),
+            "margin", Xs, ys, Xp, yp, Xt, yt,
+            n_queries=40, eval_every=5, target_f1=0.9, random_state=0,
+        )
+        # curve stays aligned even with batched evaluation + early stop
+        assert len(res.f1) == len(res.n_labeled)
+        assert res.n_labeled[0] == 6
+
+    def test_oracle_noise_in_loop_changes_labels(self, blobs6):
+        Xs, ys, Xp, yp, Xt, yt = self._setup(blobs6)
+        res = run_active_learning(
+            RandomForestClassifier(n_estimators=8, random_state=0),
+            "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            n_queries=30, oracle_noise=0.5, random_state=0,
+        )
+        answered = [r.label for r in res.oracle.history]
+        truth = [yp[r.pool_index] for r in res.oracle.history]
+        assert any(a != t for a, t in zip(answered, truth))
+
+    def test_queried_apps_empty_without_pool_apps(self, blobs6):
+        Xs, ys, Xp, yp, Xt, yt = self._setup(blobs6)
+        res = run_active_learning(
+            RandomForestClassifier(n_estimators=8, random_state=0),
+            "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            n_queries=5, random_state=0,
+        )
+        assert res.queried_apps == []
+        assert len(res.queried_labels) == 5
+
+
+class TestFrameworkRoundtripAfterLearn:
+    def test_learned_framework_survives_persistence(self, tiny_config, tmp_path):
+        from repro.core import ALBADross, FrameworkConfig, load_framework, save_framework
+        from repro.datasets.generate import generate_runs
+
+        runs = generate_runs(tiny_config, rng=2)
+        rng = np.random.default_rng(0)
+        runs = [runs[i] for i in rng.permutation(len(runs))]
+        seed, pool, val = [], [], []
+        seen = set()
+        for run in runs:
+            key = (run.app, run.label)
+            if key not in seen:
+                seen.add(key)
+                seed.append(run)
+            elif len(val) < 20:
+                val.append(run)
+            else:
+                pool.append(run)
+        fw = ALBADross(
+            tiny_config.catalog,
+            FrameworkConfig(n_features=50, model_params={"n_estimators": 5},
+                            max_queries=4, random_state=0),
+        )
+        fw.fit_features(seed + pool)
+        fw.fit_initial(seed, [r.label for r in seed])
+        fw.learn(pool, [r.label for r in pool], val, [r.label for r in val])
+        path = save_framework(fw, tmp_path / "learned.pkl")
+        restored = load_framework(path)
+        a = [d.label for d in fw.diagnose(val[:5])]
+        b = [d.label for d in restored.diagnose(val[:5])]
+        assert a == b
+
+
+class TestReportEdgeCases:
+    def test_classification_report_with_unseen_predicted_class(self):
+        from repro.mlcore import classification_report
+
+        y_true = np.array(["healthy", "healthy", "membw"])
+        y_pred = np.array(["healthy", "dial", "membw"])  # dial never true
+        report = classification_report(y_true, y_pred)
+        assert "dial" in report
+
+    def test_f1_with_explicit_label_universe(self):
+        from repro.mlcore import f1_score
+
+        y_true = np.array(["a", "a"])
+        y_pred = np.array(["a", "a"])
+        per_class = f1_score(
+            y_true, y_pred, average=None, labels=np.array(["a", "b"])
+        )
+        assert per_class[0] == 1.0 and per_class[1] == 0.0
+
+
+class TestCollectorMissingness:
+    def test_missing_rate_zero_versus_high(self, tiny_config):
+        from repro.apps.volta_apps import VOLTA_APPS
+        from repro.telemetry.collector import Collector
+        from repro.telemetry.node import VOLTA_NODE
+
+        clean = Collector(tiny_config.catalog, VOLTA_NODE, missing_rate=0.0)
+        lossy = Collector(tiny_config.catalog, VOLTA_NODE, missing_rate=0.08)
+        a = clean.collect(VOLTA_APPS["CG"], 0, 64, rng=0)
+        b = lossy.collect(VOLTA_APPS["CG"], 0, 64, rng=0)
+        assert not np.isnan(a.data).any()
+        assert np.isnan(b.data).any()
+
+
+class TestStrategySanityOnDiagnosisShapedData:
+    def test_all_strategies_learn_the_rare_classes(self, blobs6):
+        X, y = blobs6
+        seed_idx = [int(np.flatnonzero(y == c)[0]) for c in np.unique(y)]
+        rest = np.setdiff1d(np.arange(len(y)), seed_idx)
+        pool, test = rest[:120], rest[120:]
+        from repro.mlcore import f1_score
+
+        for strategy in ("uncertainty", "margin", "entropy"):
+            res = run_active_learning(
+                RandomForestClassifier(n_estimators=10, random_state=0),
+                strategy, X[seed_idx], y[seed_idx], X[pool], y[pool],
+                X[test], y[test], n_queries=30, random_state=0,
+            )
+            assert res.final_f1 > 0.8, strategy
