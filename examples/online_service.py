@@ -1,0 +1,119 @@
+"""The full online serving loop: collect, train, publish, serve, escalate.
+
+The paper trains ALBADross offline; this example runs the deployment the
+serving subsystem adds. A small campaign trains version 1, which goes
+into a versioned model registry. A `DiagnosisService` then scores the
+incoming "production" traffic through the micro-batching engine; runs it
+is not confident about land in the escalation queue, get annotated
+(ground truth plays the human here), and the refit framework is
+published — and hot-swapped in — as version 2.
+
+    python examples/online_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.active.stream import ThresholdController
+from repro.core import ALBADross, FrameworkConfig
+from repro.datasets import generate_runs, volta_config
+from repro.mlcore import f1_score
+from repro.serving import DiagnosisService, EscalationQueue, ModelRegistry
+
+
+def main() -> None:
+    config = volta_config(
+        scale=0.04,
+        n_healthy_per_app_input=5,
+        n_anomalous_per_app_anomaly=4,
+        duration=120,
+    )
+    print("collecting campaign...")
+    runs = generate_runs(config, rng=12)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(runs))
+
+    # a deliberately small labeled seed: one run per (app, label) cell;
+    # the rest is split into production traffic and a held-out scoreboard
+    seed, traffic, holdout, seen = [], [], [], set()
+    for i in order:
+        run = runs[i]
+        key = (run.app, run.label)
+        if key not in seen:
+            seen.add(key)
+            seed.append(run)
+        elif rng.random() < 0.3:
+            holdout.append(run)
+        else:
+            traffic.append(run)
+    print(f"seed={len(seed)} traffic={len(traffic)} holdout={len(holdout)}")
+
+    framework = ALBADross(
+        config.catalog,
+        FrameworkConfig(n_features=100, model_params={"n_estimators": 20}),
+    )
+    framework.fit_features(runs)
+    framework.fit_initial(seed, [r.label for r in seed])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        v1 = registry.publish(framework, tag="initial")
+        print(f"published {v1.version_id} "
+              f"(fingerprint {v1.manifest['train_fingerprint']})")
+
+        escalation = EscalationQueue(
+            ThresholdController(threshold=0.35, target_rate=0.2)
+        )
+        service = DiagnosisService(
+            registry, max_batch=16, max_linger_s=0.005, escalation=escalation
+        )
+        with service:
+            # production traffic arrives run by run; the engine batches it
+            futures = [service.submit(run) for run in traffic]
+            verdicts = [f.result() for f in futures]
+            correct = sum(
+                d.label == r.label for d, r in zip(verdicts, traffic)
+            )
+            print(f"served {len(verdicts)} runs on {service.version.version_id}: "
+                  f"{correct}/{len(traffic)} correct, "
+                  f"{len(escalation)} escalated to the annotator")
+
+            # the human annotates the escalated runs (ground truth here),
+            # the framework absorbs them, and v2 goes live without a restart
+            v2 = service.retrain_and_publish(
+                annotator=lambda item: item.run.label, tag="annotated"
+            )
+            if v2 is None:
+                print("nothing escalated; still serving v1")
+            else:
+                print(f"published + hot-swapped to {v2.version_id} "
+                      f"(fingerprint {v2.manifest['train_fingerprint']})")
+
+            stats = service.stats.snapshot()
+            print("service stats:")
+            print(f"  requests           {stats['requests']}")
+            print(f"  batches            {stats['batches']}")
+            print(f"  mean batch size    {stats['mean_batch_size']:.1f}")
+            print(f"  cache hits         {stats['cache_hits']}")
+            print(f"  escalations        {stats['escalations']}")
+
+        # scoreboard: did closing the loop help?
+        y_true = np.array([r.label for r in holdout])
+        for ref in ("v0001", "v0002") if v2 is not None else ("v0001",):
+            fw, version = registry.load(ref)
+            y_pred = np.array([d.label for d in fw.diagnose(holdout)])
+            print(f"{version.version_id} holdout macro F1: "
+                  f"{f1_score(y_true, y_pred):.3f}")
+
+        print("registry:")
+        for version in registry.list_versions():
+            marker = "*" if version.version_id == registry.current_id() else " "
+            print(f"  {marker} {version.version_id} tag={version.tag}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ from .baselines import EqualAppSelector, ProctorModel, RandomSelector
 from .learner import ActiveLearner
 from .loop import ALResult, queries_to_reach, run_active_learning
 from .oracle import Oracle, QueryRecord
-from .stream import StreamActiveLearner, StreamDecision
+from .stream import StreamActiveLearner, StreamDecision, ThresholdController
 from .strategies import (
     STRATEGIES,
     entropy_sampling,
@@ -34,6 +34,7 @@ __all__ = [
     "QueryByCommittee",
     "StreamActiveLearner",
     "StreamDecision",
+    "ThresholdController",
     "information_density",
     "RankedBatchSelector",
     "select_ranked_batch",

@@ -22,7 +22,55 @@ import numpy as np
 from ..mlcore.base import BaseEstimator, check_X_y, clone
 from .strategies import uncertainty_scores
 
-__all__ = ["StreamDecision", "StreamActiveLearner"]
+__all__ = ["StreamDecision", "StreamActiveLearner", "ThresholdController"]
+
+
+@dataclass
+class ThresholdController:
+    """Self-tuning uncertainty threshold with a query-rate budget.
+
+    The budget controller of this module, factored out so the serving
+    escalation queue (:mod:`repro.serving.escalation`) can reuse the exact
+    same policy: query when ``U(x) >= threshold``, then nudge the
+    threshold so the realized query rate tracks ``target_rate``.
+    """
+
+    threshold: float = 0.35
+    target_rate: float | None = 0.1
+    adapt_step: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+        if self.target_rate is not None and not 0.0 < self.target_rate < 1.0:
+            raise ValueError(f"target_rate must be in (0, 1), got {self.target_rate}")
+        self.n_seen = 0
+        self.n_queried = 0
+
+    def should_query(self, uncertainty: float) -> bool:
+        """Decide one sample and update the adaptive threshold."""
+        queried = uncertainty >= self.threshold
+        self.n_seen += 1
+        if queried:
+            self.n_queried += 1
+        self._adapt(queried)
+        return queried
+
+    def _adapt(self, queried: bool) -> None:
+        if self.target_rate is None:
+            return
+        if queried:
+            # spent budget: become pickier
+            self.threshold = min(1.0, self.threshold * (1 + self.adapt_step))
+        else:
+            self.threshold = max(
+                0.0, self.threshold * (1 - self.adapt_step * self.target_rate)
+            )
+
+    @property
+    def query_rate(self) -> float:
+        """Realized fraction of observed samples that were queried."""
+        return self.n_queried / self.n_seen if self.n_seen else 0.0
 
 
 @dataclass(frozen=True)
@@ -65,10 +113,12 @@ class StreamActiveLearner:
     _y: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.threshold <= 1.0:
-            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
-        if self.target_rate is not None and not 0.0 < self.target_rate < 1.0:
-            raise ValueError(f"target_rate must be in (0, 1), got {self.target_rate}")
+        # the controller validates threshold/target_rate and owns adaptation
+        self._controller = ThresholdController(
+            threshold=self.threshold,
+            target_rate=self.target_rate,
+            adapt_step=self.adapt_step,
+        )
         if self.refit_every < 1:
             raise ValueError(f"refit_every must be >= 1, got {self.refit_every}")
         self.n_seen = 0
@@ -97,18 +147,18 @@ class StreamActiveLearner:
         x = np.asarray(x, dtype=np.float64).reshape(1, -1)
         proba = self.model.predict_proba(x)
         u = float(uncertainty_scores(proba)[0])
-        queried = u >= self.threshold
+        threshold_used = self._controller.threshold
+        queried = self._controller.should_query(u)
         prediction = self.model.classes_[int(np.argmax(proba[0]))]
         decision = StreamDecision(
             queried=queried,
             uncertainty=u,
-            threshold=self.threshold,
+            threshold=threshold_used,
             prediction=prediction,
         )
-        self.n_seen += 1
-        if queried:
-            self.n_queried += 1
-        self._adapt(queried)
+        self.n_seen = self._controller.n_seen
+        self.n_queried = self._controller.n_queried
+        self.threshold = self._controller.threshold
         return decision
 
     def feed_label(self, x: np.ndarray, y: object) -> None:
@@ -129,20 +179,10 @@ class StreamActiveLearner:
             self._pending = 0
 
     # ------------------------------------------------------------------
-    def _adapt(self, queried: bool) -> None:
-        """Nudge the threshold toward the target query rate."""
-        if self.target_rate is None:
-            return
-        if queried:
-            # spent budget: become pickier
-            self.threshold = min(1.0, self.threshold * (1 + self.adapt_step))
-        else:
-            self.threshold = max(0.0, self.threshold * (1 - self.adapt_step * self.target_rate))
-
     @property
     def query_rate(self) -> float:
         """Realized fraction of observed samples that were queried."""
-        return self.n_queried / self.n_seen if self.n_seen else 0.0
+        return self._controller.query_rate
 
     @property
     def n_labeled(self) -> int:

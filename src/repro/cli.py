@@ -10,7 +10,12 @@ The operational surface a site would actually script against:
 * ``evaluate`` — load a model and a *labeled* archive, print the paper's
   metrics (macro F1, false-alarm and anomaly-miss rates) plus the
   per-class report;
-* ``info``     — show the system inventories (apps, anomalies, metrics).
+* ``info``     — show the system inventories (apps, anomalies, metrics);
+* ``registry`` — manage the versioned serving model registry
+  (list / publish / rollback / activate);
+* ``serve-batch`` — score an archive through the online
+  :class:`~repro.serving.service.DiagnosisService` (micro-batching,
+  cache, escalation) and print the service counters.
 """
 
 from __future__ import annotations
@@ -65,6 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="show system inventories")
     p.add_argument("--system", choices=("volta", "eclipse"), default="volta")
+
+    p = sub.add_parser("registry", help="manage the serving model registry")
+    p.add_argument("action", choices=("list", "publish", "rollback", "activate"))
+    p.add_argument("--root", type=Path, required=True,
+                   help="registry directory")
+    p.add_argument("--model", type=Path, default=None,
+                   help="saved framework to publish (publish only)")
+    p.add_argument("--tag", default=None, help="tag for the published version")
+    p.add_argument("--ref", default=None,
+                   help="version id or tag (rollback/activate target)")
+
+    p = sub.add_parser("serve-batch",
+                       help="score an archive through the online service")
+    p.add_argument("--registry", type=Path, required=True)
+    p.add_argument("--runs", type=Path, required=True)
+    p.add_argument("--ref", default="current",
+                   help="registry version to serve (default: current)")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--linger-ms", type=float, default=5.0)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--escalate", action="store_true",
+                   help="route low-confidence verdicts to the escalation queue")
     return parser
 
 
@@ -202,12 +229,103 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    from .core import load_framework
+    from .serving import ModelRegistry, RegistryError
+
+    registry = ModelRegistry(args.root)
+    try:
+        if args.action == "list":
+            versions = registry.list_versions()
+            if not versions:
+                print("registry is empty")
+                return 0
+            current = registry.current_id()
+            for v in versions:
+                marker = "*" if v.version_id == current else " "
+                tag = v.tag or "-"
+                print(f"{marker} {v.version_id}  tag={tag:<12} "
+                      f"features={v.manifest.get('n_features')} "
+                      f"fingerprint={v.manifest.get('train_fingerprint')}")
+            return 0
+        if args.action == "publish":
+            if args.model is None:
+                print("registry publish requires --model", file=sys.stderr)
+                return 2
+            framework = load_framework(args.model)
+            version = registry.publish(framework, tag=args.tag)
+            print(f"published {version.version_id}"
+                  + (f" (tag {version.tag})" if version.tag else ""))
+            return 0
+        if args.action == "rollback":
+            version = registry.rollback(args.ref)
+            print(f"current -> {version.version_id}")
+            return 0
+        # activate
+        if args.ref is None:
+            print("registry activate requires --ref", file=sys.stderr)
+            return 2
+        version = registry.activate(args.ref)
+        print(f"current -> {version.version_id}")
+        return 0
+    except RegistryError as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve_batch(args) -> int:
+    from .datasets.runs_io import load_runs
+    from .serving import DiagnosisService, EscalationQueue, ModelRegistry, RegistryError
+
+    runs = load_runs(args.runs)
+    if args.limit is not None:
+        runs = runs[: args.limit]
+    escalation = EscalationQueue() if args.escalate else None
+    service = DiagnosisService(
+        ModelRegistry(args.registry),
+        max_batch=args.max_batch,
+        max_linger_s=args.linger_ms / 1000.0,
+        escalation=escalation,
+    )
+    try:
+        service.start(args.ref)
+    except RegistryError as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        print(f"serving {service.version.version_id} "
+              f"(fingerprint {service.version.manifest.get('train_fingerprint')})")
+        # submit singly so the micro-batcher does the coalescing
+        futures = [service.submit(run) for run in runs]
+        diagnoses = [f.result() for f in futures]
+    labels: dict[str, int] = {}
+    for d in diagnoses:
+        labels[d.label] = labels.get(d.label, 0) + 1
+    print(f"scored {len(diagnoses)} runs")
+    for label, count in sorted(labels.items()):
+        print(f"  {label:<12} {count}")
+    snap = service.stats.snapshot()
+    print("service stats:")
+    for key in ("requests", "batches", "mean_batch_size",
+                "mean_batch_latency_s", "cache_hits", "escalations"):
+        value = snap[key]
+        print(f"  {key:<22} {value:.4f}" if isinstance(value, float)
+              else f"  {key:<22} {value}")
+    print(f"  batch_size_histogram   {snap['batch_size_histogram']}")
+    if escalation is not None:
+        print(f"escalation queue depth: {len(escalation)} "
+              f"(rate {escalation.escalation_rate:.2f})")
+    return 0
+
+
 _COMMANDS = {
     "collect": _cmd_collect,
     "train": _cmd_train,
     "diagnose": _cmd_diagnose,
     "evaluate": _cmd_evaluate,
     "info": _cmd_info,
+    "registry": _cmd_registry,
+    "serve-batch": _cmd_serve_batch,
 }
 
 

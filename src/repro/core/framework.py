@@ -232,14 +232,58 @@ class ALBADross:
         self.model.fit(X_final, y_final)
         return result
 
-    def diagnose(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
-        """Deployment-time diagnosis: label + confidence for each run."""
+    def featurize(self, runs: Sequence[RunRecord]) -> np.ndarray:
+        """Map raw runs through the fitted extractor→scaler→selector stack.
+
+        The serving engine uses this to featurize a coalesced micro-batch
+        once, then score it with :meth:`predict_features` in a single
+        vectorized model call.
+        """
+        return self._featurize(runs)
+
+    def predict_features(self, X: np.ndarray) -> list[Diagnosis]:
+        """Diagnose already-featurized samples (one model call for all rows)."""
         if self.model is None:
             raise RuntimeError("framework is not trained")
-        X = self._featurize(runs)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
         proba = self.model.predict_proba(X)
         best = np.argmax(proba, axis=1)
         return [
             Diagnosis(label=str(self.model.classes_[b]), confidence=float(p[b]))
             for b, p in zip(best, proba)
         ]
+
+    def diagnose(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
+        """Deployment-time diagnosis: label + confidence for each run."""
+        if self.model is None:
+            raise RuntimeError("framework is not trained")
+        return self.predict_features(self._featurize(runs))
+
+    def absorb(
+        self, runs: Sequence[RunRecord], labels: Sequence[str]
+    ) -> "ALBADross":
+        """Fold newly annotated runs into the labeled set and refit.
+
+        This is the online continuation of the paper's loop: samples the
+        serving path escalated to the annotator come back here, grow the
+        seed matrix, and produce the model the registry publishes as the
+        next version.
+        """
+        if self.model is None or self._X_seed is None:
+            raise RuntimeError("call fit_initial first")
+        if len(runs) != len(labels):
+            raise ValueError("runs / labels length mismatch")
+        if not runs:
+            return self
+        X_new = self._featurize(runs)
+        self._X_seed = np.vstack([self._X_seed, X_new])
+        self._y_seed = np.concatenate([self._y_seed, np.asarray(labels)])
+        self.model = build_model(
+            self.config.model,
+            self.config.resolved_model_params(),
+            random_state=self.config.random_state,
+        )
+        self.model.fit(self._X_seed, self._y_seed)
+        return self

@@ -5,17 +5,32 @@ Saves and restores a trained :class:`~repro.core.framework.ALBADross`
 instance — extractor drop-mask, scaler, selector, and model — so a tuned
 framework can be deployed on a monitoring pipeline without retraining.
 A small header records the package version and config for sanity checks at
-load time.
+load time, and the manifest/fingerprint helpers here feed the serving
+model registry (:mod:`repro.serving.registry`): a published version
+carries enough metadata to audit what was trained, on what, and when.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import pickle
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .framework import ALBADross
 
-__all__ = ["save_framework", "load_framework", "FORMAT_VERSION"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry.collector import RunRecord
+
+__all__ = [
+    "save_framework",
+    "load_framework",
+    "build_manifest",
+    "train_fingerprint",
+    "run_fingerprint",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
 
@@ -46,6 +61,11 @@ def load_framework(path: str | Path) -> ALBADross:
     if not isinstance(payload, dict) or "framework" not in payload:
         raise ValueError(f"{path} is not a saved ALBADross framework")
     version = payload.get("format_version")
+    if isinstance(version, int) and version > FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r}: newer than this package "
+            f"supports (max {FORMAT_VERSION}); upgrade repro to load it"
+        )
     if version != FORMAT_VERSION:
         raise ValueError(
             f"unsupported format version {version!r} (expected {FORMAT_VERSION})"
@@ -54,3 +74,66 @@ def load_framework(path: str | Path) -> ALBADross:
     if not isinstance(framework, ALBADross):
         raise ValueError(f"{path} does not contain an ALBADross instance")
     return framework
+
+
+# ----------------------------------------------------------------------
+# manifest / fingerprint helpers (consumed by repro.serving.registry)
+
+
+def train_fingerprint(framework: ALBADross) -> str:
+    """A stable hex digest of the framework's training seed set.
+
+    Two frameworks trained on the same featurized seed matrix share a
+    fingerprint; refitting after absorbing annotations changes it. Used by
+    the registry manifest to make "what data produced this version"
+    auditable.
+    """
+    seed_X = getattr(framework, "_X_seed", None)
+    seed_y = getattr(framework, "_y_seed", None)
+    if seed_X is None or seed_y is None:
+        return "untrained"
+    digest = hashlib.sha256()
+    digest.update(seed_X.tobytes())
+    digest.update("|".join(str(label) for label in seed_y).encode())
+    return digest.hexdigest()[:16]
+
+
+def run_fingerprint(run: "RunRecord") -> str:
+    """A cache key identifying one telemetry run's content.
+
+    Hashes the raw metric matrix plus the identifying metadata, so the
+    serving result cache recognizes a resubmitted run regardless of the
+    Python object identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(run.data.tobytes())
+    digest.update(
+        f"{run.app}|{run.input_deck}|{run.node_count}|{run.node_id}".encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def build_manifest(framework: ALBADross) -> dict:
+    """Describe a trained framework as a JSON-serializable manifest.
+
+    Records everything a registry version needs for sanity checks at load
+    time and for operator audits: package + payload format versions, the
+    full :class:`~repro.core.config.FrameworkConfig`, the served feature
+    count, the label set, and the train-set fingerprint.
+    """
+    if framework.model is None:
+        raise ValueError("refusing to build a manifest for an untrained framework")
+    from .. import __version__
+
+    n_features = None
+    if framework.selector is not None:
+        n_features = int(len(framework.selector.get_support()))
+    classes = [str(c) for c in getattr(framework.model, "classes_", [])]
+    return {
+        "package_version": __version__,
+        "format_version": FORMAT_VERSION,
+        "config": dataclasses.asdict(framework.config),
+        "n_features": n_features,
+        "classes": classes,
+        "train_fingerprint": train_fingerprint(framework),
+    }

@@ -1,0 +1,34 @@
+"""repro.serving — the online diagnosis service.
+
+Turns a trained :class:`~repro.core.framework.ALBADross` into a
+long-running serving path:
+
+* :mod:`repro.serving.registry` — versioned on-disk model registry with
+  an atomic ``CURRENT`` pointer, list and rollback.
+* :mod:`repro.serving.engine` — micro-batching inference engine with
+  bounded-queue backpressure.
+* :mod:`repro.serving.service` — the ``DiagnosisService`` façade: warm
+  load, result cache, hot version swap, escalation wiring.
+* :mod:`repro.serving.escalation` — annotation escalation queue closing
+  the active-learning loop online.
+* :mod:`repro.serving.stats` — service counters as a plain-dict snapshot.
+"""
+
+from .engine import BackpressureError, MicroBatcher
+from .escalation import EscalationItem, EscalationQueue, apply_annotations
+from .registry import ModelRegistry, ModelVersion, RegistryError
+from .service import DiagnosisService
+from .stats import ServiceStats
+
+__all__ = [
+    "BackpressureError",
+    "DiagnosisService",
+    "EscalationItem",
+    "EscalationQueue",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryError",
+    "ServiceStats",
+    "apply_annotations",
+]

@@ -1,0 +1,188 @@
+"""Micro-batching inference engine.
+
+Per-run scoring overhead (feature extraction dispatch, scaler/selector
+matrix slicing, model call setup) dwarfs the marginal cost of one more
+row, exactly the economics :mod:`repro.parallel.executor` exploits by
+chunking process-pool tasks. This engine applies the same amortization to
+serving: callers submit single :class:`~repro.telemetry.collector.RunRecord`
+requests into a bounded queue, and a dispatcher thread coalesces whatever
+has accumulated — up to ``max_batch`` runs, waiting at most
+``max_linger_s`` for stragglers — into one vectorized
+extractor→scaler→selector→model call.
+
+Backpressure is explicit: a full request queue either blocks the
+submitter or raises :class:`BackpressureError`, per the configured
+policy. A synchronous :meth:`MicroBatcher.diagnose_many` fast path skips
+the queue entirely for callers that already hold a batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+from ..telemetry.collector import RunRecord
+from .stats import ServiceStats
+
+__all__ = ["MicroBatcher", "BackpressureError"]
+
+
+class BackpressureError(RuntimeError):
+    """The request queue is full and the backpressure policy is ``"error"``."""
+
+
+class MicroBatcher:
+    """Coalesce single-run submissions into vectorized model calls.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``predict_fn(runs) -> list[Diagnosis]``; looked up at dispatch
+        time, so the owner may swap it between batches (hot model swap)
+        without touching queued requests — they are raw runs, not
+        featurized against any particular version.
+    max_batch:
+        Upper bound on runs per dispatched batch.
+    max_linger_s:
+        How long the dispatcher waits for more arrivals after the first
+        request of a batch; bounds worst-case added latency.
+    queue_size:
+        Request-queue bound (backpressure trips beyond it).
+    policy:
+        ``"block"`` (submit waits for space) or ``"error"`` (submit raises
+        :class:`BackpressureError` immediately).
+    stats:
+        Optional shared :class:`~repro.serving.stats.ServiceStats`.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[Sequence[RunRecord]], list],
+        max_batch: int = 32,
+        max_linger_s: float = 0.005,
+        queue_size: int = 1024,
+        policy: str = "block",
+        stats: ServiceStats | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_linger_s < 0:
+            raise ValueError(f"max_linger_s must be >= 0, got {max_linger_s}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if policy not in ("block", "error"):
+            raise ValueError(f"policy must be 'block' or 'error', got {policy!r}")
+        self.predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.max_linger_s = max_linger_s
+        self.policy = policy
+        self.stats = stats or ServiceStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._closed = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-microbatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, run: RunRecord) -> Future:
+        """Enqueue one run; the returned future resolves to its Diagnosis."""
+        if self._closed.is_set():
+            raise RuntimeError("engine is closed")
+        future: Future = Future()
+        item = (run, future)
+        if self.policy == "error":
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                raise BackpressureError(
+                    f"request queue full ({self._queue.maxsize} pending)"
+                ) from None
+        else:
+            self._queue.put(item)
+        self.stats.record_request()
+        return future
+
+    def diagnose_many(self, runs: Sequence[RunRecord]) -> list:
+        """Synchronous fast path: score an in-hand batch without queueing.
+
+        Large callers (archive scoring, backfills) already have their
+        batch; routing it through the queue would only add latency. Splits
+        into ``max_batch`` slices so one huge call cannot starve the
+        latency-sensitive queued traffic between slices.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("engine is closed")
+        results: list = []
+        for start in range(0, len(runs), self.max_batch):
+            chunk = list(runs[start : start + self.max_batch])
+            t0 = time.perf_counter()
+            out = self.predict_fn(chunk)
+            self.stats.record_batch(len(chunk), time.perf_counter() - t0)
+            results.extend(out)
+        self.stats.record_request(len(runs))
+        return results
+
+    def flush(self, timeout: float = 10.0) -> None:
+        """Block until every queued request has been dispatched."""
+        deadline = time.monotonic() + timeout
+        while not self._queue.empty():
+            if time.monotonic() > deadline:
+                raise TimeoutError("engine did not drain in time")
+            time.sleep(0.001)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain the queue, then stop the dispatcher thread."""
+        if self._closed.is_set():
+            return
+        self.flush(timeout)
+        self._closed.set()
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in the queue (approximate)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_linger_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=max(remaining, 0)))
+                except queue.Empty:
+                    break
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list) -> None:
+        runs = [run for run, _ in batch]
+        t0 = time.perf_counter()
+        try:
+            diagnoses = self.predict_fn(runs)
+        except BaseException as exc:  # propagate to every waiter, keep serving
+            for _, future in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        self.stats.record_batch(len(batch), time.perf_counter() - t0)
+        for (_, future), diagnosis in zip(batch, diagnoses):
+            if not future.cancelled():
+                future.set_result(diagnosis)

@@ -1,0 +1,135 @@
+"""Annotation escalation queue: the online half of the paper's AL loop.
+
+Pool-based ALBADross asks the annotator about the most uncertain pool
+samples; in a live service the "pool" is the request stream itself. Every
+diagnosis the service emits passes through an :class:`EscalationQueue`,
+which reuses the self-tuning uncertainty threshold of
+:class:`repro.active.stream.ThresholdController` — predictions whose
+uncertainty (``1 - confidence``) clears the threshold are parked for a
+human, and the controller keeps the escalation rate near the annotator's
+budget instead of flooding them during a confusing burst.
+
+Drained, annotated items feed :func:`apply_annotations`, which folds the
+labels back into the framework (``ALBADross.absorb``) and publishes the
+refit model as the next registry version — closing the loop the paper
+runs offline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..active.stream import ThresholdController
+from ..core.framework import ALBADross, Diagnosis
+from ..telemetry.collector import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import ModelRegistry, ModelVersion
+
+__all__ = ["EscalationItem", "EscalationQueue", "apply_annotations"]
+
+
+@dataclass(frozen=True)
+class EscalationItem:
+    """One low-confidence prediction awaiting a human label."""
+
+    run: RunRecord
+    diagnosis: Diagnosis
+    uncertainty: float
+    threshold: float
+
+
+class EscalationQueue:
+    """Bounded queue of predictions the model was not confident about.
+
+    Parameters
+    ----------
+    controller:
+        Threshold policy; defaults to the stream learner's self-tuning
+        controller with a 10% target escalation rate.
+    maxlen:
+        Queue bound; beyond it the *oldest* unserviced item is dropped
+        (the annotator was never going to reach it anyway) and the drop is
+        counted.
+    """
+
+    def __init__(
+        self,
+        controller: ThresholdController | None = None,
+        maxlen: int = 256,
+    ):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.controller = controller or ThresholdController()
+        self._items: deque[EscalationItem] = deque(maxlen=maxlen)
+        self.n_dropped = 0
+
+    # ------------------------------------------------------------------
+    def offer(self, run: RunRecord, diagnosis: Diagnosis) -> bool:
+        """Consider one served prediction; enqueue it if uncertain enough."""
+        uncertainty = 1.0 - diagnosis.confidence
+        threshold_used = self.controller.threshold
+        if not self.controller.should_query(uncertainty):
+            return False
+        if len(self._items) == self._items.maxlen:
+            self.n_dropped += 1
+        self._items.append(
+            EscalationItem(
+                run=run,
+                diagnosis=diagnosis,
+                uncertainty=uncertainty,
+                threshold=threshold_used,
+            )
+        )
+        return True
+
+    def drain(self, n: int | None = None) -> list[EscalationItem]:
+        """Hand up to ``n`` items (oldest first) to the annotator."""
+        if n is None:
+            n = len(self._items)
+        drained = []
+        while self._items and len(drained) < n:
+            drained.append(self._items.popleft())
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def escalation_rate(self) -> float:
+        """Realized fraction of offered predictions that were escalated."""
+        return self.controller.query_rate
+
+
+def apply_annotations(
+    framework: ALBADross,
+    items: Sequence[EscalationItem],
+    annotator: Callable[[EscalationItem], str],
+    registry: "ModelRegistry | None" = None,
+    tag: str | None = None,
+) -> "tuple[ALBADross, ModelVersion | None]":
+    """Label escalated items, refit the framework, publish the next version.
+
+    ``annotator`` maps an :class:`EscalationItem` to its true label — in
+    production an interactive session (see
+    :class:`repro.core.annotation.AnnotationSession`), in tests/examples
+    the ground truth. Returns the refit framework and the newly published
+    version (``None`` when no registry was given or nothing was labeled).
+    """
+    labeled_runs: list[RunRecord] = []
+    labels: list[str] = []
+    for item in items:
+        label = annotator(item)
+        if label is None:
+            continue  # annotator skipped this one
+        labeled_runs.append(item.run)
+        labels.append(str(label))
+    if not labeled_runs:
+        return framework, None
+    framework.absorb(labeled_runs, labels)
+    version = None
+    if registry is not None:
+        version = registry.publish(framework, tag=tag)
+    return framework, version

@@ -1,0 +1,213 @@
+"""Versioned on-disk model registry.
+
+Layers deployment bookkeeping on top of :mod:`repro.core.persistence`:
+every :meth:`ModelRegistry.publish` call freezes a trained framework into
+an immutable version directory —
+
+::
+
+    <root>/
+      CURRENT                  # the active version id (atomically replaced)
+      versions/
+        v0001/
+          model.pkl            # save_framework payload
+          manifest.json        # package version, config, fingerprint, ...
+        v0002/
+          ...
+
+— and flips the ``CURRENT`` pointer with an atomic :func:`os.replace`, so
+a serving process that re-reads the pointer between batches either sees
+the old version or the new one, never a torn state. ``rollback`` is just
+a pointer move: the bytes of every published version stay put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.framework import ALBADross
+from ..core.persistence import build_manifest, load_framework, save_framework
+
+__all__ = ["ModelRegistry", "ModelVersion", "RegistryError"]
+
+_MODEL_FILE = "model.pkl"
+_MANIFEST_FILE = "manifest.json"
+_POINTER_FILE = "CURRENT"
+
+
+class RegistryError(RuntimeError):
+    """A registry operation could not be satisfied (missing/ambiguous ref)."""
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published version: its id, tag, path, and manifest."""
+
+    version_id: str
+    path: Path
+    manifest: dict
+
+    @property
+    def tag(self) -> str | None:
+        return self.manifest.get("tag")
+
+    @property
+    def created_at(self) -> float:
+        return float(self.manifest.get("created_at", 0.0))
+
+    @property
+    def model_path(self) -> Path:
+        return self.path / _MODEL_FILE
+
+    def load(self) -> ALBADross:
+        """Deserialize this version's framework."""
+        return load_framework(self.model_path)
+
+
+class ModelRegistry:
+    """Publish, resolve, load, and roll back framework versions.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created on first use.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.versions_dir = self.root / "versions"
+        self.versions_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        framework: ALBADross,
+        tag: str | None = None,
+        activate: bool = True,
+    ) -> ModelVersion:
+        """Freeze a trained framework as the next immutable version.
+
+        The version directory is staged under a temporary name and renamed
+        into place, so a crash mid-publish never leaves a half-written
+        version visible. With ``activate`` (the default) the ``CURRENT``
+        pointer flips to the new version afterwards.
+        """
+        manifest = build_manifest(framework)
+        manifest["tag"] = tag
+        manifest["created_at"] = time.time()
+        version_id = self._next_version_id()
+        staging = self.versions_dir / f".staging-{version_id}"
+        staging.mkdir(parents=True)
+        try:
+            save_framework(framework, staging / _MODEL_FILE)
+            (staging / _MANIFEST_FILE).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True)
+            )
+            final = self.versions_dir / version_id
+            os.rename(staging, final)
+        except BaseException:
+            for leftover in staging.glob("*") if staging.exists() else []:
+                leftover.unlink()
+            if staging.exists():
+                staging.rmdir()
+            raise
+        version = ModelVersion(version_id=version_id, path=final, manifest=manifest)
+        if activate:
+            self._set_current(version_id)
+        return version
+
+    def load(self, ref: str = "current") -> tuple[ALBADross, ModelVersion]:
+        """Resolve ``ref`` and deserialize that version's framework."""
+        version = self.resolve(ref)
+        return version.load(), version
+
+    def list_versions(self) -> list[ModelVersion]:
+        """Every published version, oldest first."""
+        versions = []
+        for path in sorted(self.versions_dir.iterdir()):
+            if not path.is_dir() or path.name.startswith("."):
+                continue
+            manifest_path = path / _MANIFEST_FILE
+            if not manifest_path.exists():
+                continue
+            manifest = json.loads(manifest_path.read_text())
+            versions.append(
+                ModelVersion(version_id=path.name, path=path, manifest=manifest)
+            )
+        return versions
+
+    def resolve(self, ref: str = "current") -> ModelVersion:
+        """Map a reference to a version.
+
+        ``ref`` may be ``"current"`` (the active pointer), ``"latest"``
+        (highest published id), a version id (``v0003``), or a tag (the
+        most recently published version carrying it).
+        """
+        versions = self.list_versions()
+        if not versions:
+            raise RegistryError(f"registry {self.root} has no published versions")
+        by_id = {v.version_id: v for v in versions}
+        if ref == "latest":
+            return versions[-1]
+        if ref == "current":
+            current = self.current_id()
+            if current is None or current not in by_id:
+                raise RegistryError(
+                    f"registry {self.root} has no usable CURRENT pointer"
+                )
+            return by_id[current]
+        if ref in by_id:
+            return by_id[ref]
+        tagged = [v for v in versions if v.tag == ref]
+        if tagged:
+            return tagged[-1]
+        raise RegistryError(f"unknown version or tag {ref!r} in {self.root}")
+
+    def current_id(self) -> str | None:
+        """The active version id, or ``None`` when nothing is activated."""
+        pointer = self.root / _POINTER_FILE
+        if not pointer.exists():
+            return None
+        value = pointer.read_text().strip()
+        return value or None
+
+    def activate(self, ref: str) -> ModelVersion:
+        """Point ``CURRENT`` at an existing version (no data is touched)."""
+        version = self.resolve(ref)
+        self._set_current(version.version_id)
+        return version
+
+    def rollback(self, ref: str | None = None) -> ModelVersion:
+        """Move the pointer back: to ``ref``, or to the version published
+        immediately before the current one."""
+        if ref is not None:
+            return self.activate(ref)
+        versions = self.list_versions()
+        current = self.current_id()
+        ids = [v.version_id for v in versions]
+        if current not in ids:
+            raise RegistryError("nothing is active; cannot roll back")
+        idx = ids.index(current)
+        if idx == 0:
+            raise RegistryError(f"{current} is the oldest version; cannot roll back")
+        return self.activate(ids[idx - 1])
+
+    # ------------------------------------------------------------------
+    def _next_version_id(self) -> str:
+        existing = [
+            int(p.name[1:])
+            for p in self.versions_dir.iterdir()
+            if p.is_dir() and p.name.startswith("v") and p.name[1:].isdigit()
+        ]
+        return f"v{(max(existing) + 1 if existing else 1):04d}"
+
+    def _set_current(self, version_id: str) -> None:
+        # write-then-replace keeps the pointer atomic for concurrent readers
+        pointer = self.root / _POINTER_FILE
+        tmp = self.root / f".{_POINTER_FILE}.tmp"
+        tmp.write_text(version_id + "\n")
+        os.replace(tmp, pointer)

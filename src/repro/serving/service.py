@@ -1,0 +1,241 @@
+"""The DiagnosisService façade: registry + engine + cache + escalation.
+
+This is the object a monitoring pipeline embeds. It warm-loads the
+registry's ``CURRENT`` framework, owns a :class:`MicroBatcher` whose
+vectorized predict path runs extractor→scaler→selector→model once per
+coalesced batch, memoizes results by run fingerprint, routes
+low-confidence verdicts to the :class:`EscalationQueue`, and hot-swaps to
+a newly published registry version *between* batches — queued requests
+are raw runs, so none are lost or scored against a torn model during a
+swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+from ..core.framework import ALBADross, Diagnosis
+from ..core.persistence import run_fingerprint
+from ..telemetry.collector import RunRecord
+from .engine import MicroBatcher
+from .escalation import EscalationItem, EscalationQueue, apply_annotations
+from .registry import ModelRegistry, ModelVersion
+from .stats import ServiceStats
+
+__all__ = ["DiagnosisService"]
+
+
+class DiagnosisService:
+    """Long-running online diagnosis over a registry-published framework.
+
+    Parameters
+    ----------
+    registry:
+        Source of versions; the service starts on ``CURRENT``.
+    max_batch / max_linger_s / queue_size / policy:
+        Micro-batcher knobs (see :class:`~repro.serving.engine.MicroBatcher`).
+    cache_size:
+        LRU result-cache capacity in runs; ``0`` disables caching.
+    escalation:
+        Optional :class:`EscalationQueue`; omit to serve without an
+        annotation loop.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 32,
+        max_linger_s: float = 0.005,
+        queue_size: int = 1024,
+        policy: str = "block",
+        cache_size: int = 4096,
+        escalation: EscalationQueue | None = None,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.registry = registry
+        self.escalation = escalation
+        self.stats = ServiceStats()
+        self._cache_size = cache_size
+        self._cache: OrderedDict[str, Diagnosis] = OrderedDict()
+        self._swap_lock = threading.Lock()
+        self._framework: ALBADross | None = None
+        self._version: ModelVersion | None = None
+        self._engine: MicroBatcher | None = None
+        self._engine_opts = dict(
+            max_batch=max_batch,
+            max_linger_s=max_linger_s,
+            queue_size=queue_size,
+            policy=policy,
+        )
+
+    # ------------------------------------------------------------------
+    def start(self, ref: str = "current") -> "DiagnosisService":
+        """Warm-load a registry version and start the dispatcher."""
+        framework, version = self.registry.load(ref)
+        self._framework, self._version = framework, version
+        self._engine = MicroBatcher(
+            self._predict_batch, stats=self.stats, **self._engine_opts
+        )
+        return self
+
+    def stop(self) -> None:
+        """Drain in-flight requests and shut the engine down."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "DiagnosisService":
+        if self._engine is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def version(self) -> ModelVersion:
+        """The registry version currently serving."""
+        if self._version is None:
+            raise RuntimeError("service is not started")
+        return self._version
+
+    # ------------------------------------------------------------------
+    def submit(self, run: RunRecord):
+        """Asynchronous single-run scoring; returns a future of Diagnosis.
+
+        Cache hits resolve immediately without touching the queue.
+        """
+        engine = self._require_engine()
+        cached = self._cache_get(run)
+        if cached is not None:
+            from concurrent.futures import Future
+
+            future: Future = Future()
+            future.set_result(cached)
+            self.stats.record_request()
+            return future
+        return engine.submit(run)
+
+    def diagnose(self, run: RunRecord) -> Diagnosis:
+        """Synchronous single-run scoring (waits for the micro-batch)."""
+        return self.submit(run).result()
+
+    def diagnose_many(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
+        """Synchronous bulk fast path with cache short-circuiting."""
+        engine = self._require_engine()
+        results: list[Diagnosis | None] = [None] * len(runs)
+        misses: list[int] = []
+        for i, run in enumerate(runs):
+            cached = self._cache_get(run)
+            if cached is not None:
+                results[i] = cached
+                self.stats.record_request()
+            else:
+                misses.append(i)
+        if misses:
+            fresh = engine.diagnose_many([runs[i] for i in misses])
+            for i, diagnosis in zip(misses, fresh):
+                results[i] = diagnosis
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> bool:
+        """Re-read the registry pointer; hot-swap if it moved.
+
+        Returns ``True`` when a swap happened. Safe to call from any
+        thread and at any time: the engine resolves the predict callable
+        per batch, so queued requests simply score on whichever version is
+        installed when their batch dispatches — nothing in flight is lost.
+        """
+        current = self.registry.current_id()
+        if current is None or (
+            self._version is not None and current == self._version.version_id
+        ):
+            return False
+        self.swap(current)
+        return True
+
+    def swap(self, ref: str) -> ModelVersion:
+        """Install a specific registry version as the serving model."""
+        framework, version = self.registry.load(ref)
+        with self._swap_lock:
+            self._framework, self._version = framework, version
+            self._cache.clear()  # cached verdicts belong to the old version
+        self.stats.record_swap()
+        return version
+
+    def retrain_and_publish(
+        self,
+        annotator: Callable[[EscalationItem], str],
+        tag: str | None = None,
+        max_items: int | None = None,
+        adopt: bool = True,
+    ) -> ModelVersion | None:
+        """Drain the escalation queue, refit, publish, optionally hot-swap.
+
+        The annotation-loop closer: everything the service escalated gets
+        labeled by ``annotator``, absorbed into the framework, published
+        as the next version, and (with ``adopt``) served immediately.
+        """
+        if self.escalation is None:
+            raise RuntimeError("service was built without an escalation queue")
+        items = self.escalation.drain(max_items)
+        if not items:
+            return None
+        with self._swap_lock:
+            framework = self._framework
+        _, version = apply_annotations(
+            framework, items, annotator, registry=self.registry, tag=tag
+        )
+        if version is not None and adopt:
+            self.swap(version.version_id)
+        return version
+
+    # ------------------------------------------------------------------
+    def _require_engine(self) -> MicroBatcher:
+        if self._engine is None:
+            raise RuntimeError("service is not started; call start() first")
+        return self._engine
+
+    def _cache_get(self, run: RunRecord) -> Diagnosis | None:
+        if not self._cache_size:
+            return None
+        key = run_fingerprint(run)
+        with self._swap_lock:
+            diagnosis = self._cache.get(key)
+            if diagnosis is not None:
+                self._cache.move_to_end(key)
+                self.stats.record_cache_hit()
+        return diagnosis
+
+    def _cache_put(self, run: RunRecord, diagnosis: Diagnosis) -> None:
+        if not self._cache_size:
+            return
+        key = run_fingerprint(run)
+        self._cache[key] = diagnosis
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def _predict_batch(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
+        """The engine's vectorized scorer: one stack pass per micro-batch."""
+        with self._swap_lock:
+            framework = self._framework
+        if framework is None:
+            raise RuntimeError("no framework installed")
+        X = framework.featurize(runs)
+        diagnoses = framework.predict_features(X)
+        with self._swap_lock:
+            # a swap may have landed mid-batch; don't poison the new cache
+            stale = framework is not self._framework
+            if not stale:
+                for run, diagnosis in zip(runs, diagnoses):
+                    self._cache_put(run, diagnosis)
+        if self.escalation is not None:
+            for run, diagnosis in zip(runs, diagnoses):
+                if self.escalation.offer(run, diagnosis):
+                    self.stats.record_escalation()
+        return diagnoses

@@ -60,6 +60,28 @@ class TestSaveLoad:
         with pytest.raises(ValueError, match="format version"):
             load_framework(path)
 
+    def test_newer_version_roundtrip_fails_with_upgrade_hint(
+        self, small_framework, tmp_path, monkeypatch
+    ):
+        """A payload saved by a future format must fail clearly, not load."""
+        import repro.core.persistence as persistence
+
+        fw, _ = small_framework
+        path = tmp_path / "future.pkl"
+        monkeypatch.setattr(persistence, "FORMAT_VERSION", FORMAT_VERSION + 3)
+        save_framework(fw, path)  # a "future" writer produced this file
+        monkeypatch.setattr(persistence, "FORMAT_VERSION", FORMAT_VERSION)
+        with pytest.raises(ValueError, match="newer than this package"):
+            load_framework(path)
+
+    def test_older_version_still_gets_generic_error(self, small_framework, tmp_path):
+        fw, _ = small_framework
+        path = tmp_path / "ancient.pkl"
+        with path.open("wb") as fh:
+            pickle.dump({"format_version": 0, "framework": fw}, fh)
+        with pytest.raises(ValueError, match="expected"):
+            load_framework(path)
+
     def test_non_framework_payload_rejected(self, tmp_path):
         path = tmp_path / "notfw.pkl"
         with path.open("wb") as fh:
@@ -68,3 +90,38 @@ class TestSaveLoad:
             )
         with pytest.raises(ValueError, match="ALBADross instance"):
             load_framework(path)
+
+
+class TestManifestHelpers:
+    def test_manifest_is_json_serializable(self, small_framework):
+        import json
+
+        from repro.core.persistence import build_manifest
+
+        fw, _ = small_framework
+        manifest = json.loads(json.dumps(build_manifest(fw)))
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["config"]["n_features"] == 30
+        assert manifest["n_features"] == 30
+        assert "healthy" in manifest["classes"]
+
+    def test_manifest_requires_trained_framework(self, tiny_config):
+        from repro.core.persistence import build_manifest
+
+        with pytest.raises(ValueError, match="untrained"):
+            build_manifest(ALBADross(tiny_config.catalog))
+
+    def test_train_fingerprint_stable_and_sensitive(self, small_framework):
+        from repro.core.persistence import train_fingerprint
+
+        fw, _ = small_framework
+        assert train_fingerprint(fw) == train_fingerprint(fw)
+        assert train_fingerprint(ALBADross(fw.catalog)) == "untrained"
+
+    def test_run_fingerprint_distinguishes_runs(self, tiny_config):
+        from repro.core.persistence import run_fingerprint
+        from repro.datasets.generate import generate_runs
+
+        a, b = generate_runs(tiny_config, rng=0)[:2]
+        assert run_fingerprint(a) == run_fingerprint(a)
+        assert run_fingerprint(a) != run_fingerprint(b)

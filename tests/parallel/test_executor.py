@@ -59,3 +59,59 @@ class TestConfig:
 
     def test_worker_floor(self):
         assert Executor(n_workers=-3).n_workers == 1
+
+
+class TestDefaultWorkers:
+    """The engine's serving path leans on these defaults; pin them down."""
+
+    def test_leaves_one_core_free(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert default_workers() == 7
+
+    def test_single_core_box_still_gets_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert default_workers() == 1
+
+    def test_unknown_core_count_falls_back(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+    def test_none_n_workers_uses_default(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert Executor(n_workers=None).n_workers == 4
+
+
+class TestSerialFallback:
+    """n_workers <= 1 must never touch a process pool."""
+
+    def test_zero_workers_runs_inline(self):
+        assert Executor(n_workers=0).map(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_serial_path_avoids_pool(self, monkeypatch):
+        import repro.parallel.executor as executor_mod
+
+        def _explode(*args, **kwargs):
+            raise AssertionError("serial path must not build a process pool")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _explode)
+        assert Executor(n_workers=1).map(_square, range(6)) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+
+    def test_single_item_avoids_pool_even_with_workers(self, monkeypatch):
+        import repro.parallel.executor as executor_mod
+
+        def _explode(*args, **kwargs):
+            raise AssertionError("single-item map must stay inline")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _explode)
+        assert Executor(n_workers=8).map(_square, [7]) == [49]
+
+    def test_unpicklable_fn_ok_serially(self):
+        results = Executor(n_workers=1).map(lambda x: x * 10, range(3))
+        assert results == [0, 10, 20]
+
+    def test_serial_preserves_generator_input(self):
+        assert Executor(n_workers=1).map(_square, (i for i in range(5))) == [
+            0, 1, 4, 9, 16,
+        ]

@@ -1,0 +1,35 @@
+"""Shared serving fixtures: a small trained framework plus spare runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import ALBADross
+from repro.datasets.generate import generate_runs
+
+
+@pytest.fixture(scope="package")
+def corpus(tiny_config):
+    """A deterministic miniature campaign, split train/pool/holdout."""
+    runs = generate_runs(tiny_config, rng=11)
+    assert len(runs) >= 24
+    third = len(runs) // 3
+    return {
+        "all": runs,
+        "train": runs[:third],
+        "pool": runs[third : 2 * third],
+        "holdout": runs[2 * third :],
+    }
+
+
+@pytest.fixture(scope="package")
+def trained(tiny_config, corpus):
+    """A trained framework (feature space fit on the full corpus)."""
+    fw = ALBADross(
+        tiny_config.catalog,
+        FrameworkConfig(n_features=30, model_params={"n_estimators": 5}),
+    )
+    fw.fit_features(corpus["all"])
+    fw.fit_initial(corpus["train"], [r.label for r in corpus["train"]])
+    return fw

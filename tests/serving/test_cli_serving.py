@@ -1,0 +1,127 @@
+"""End-to-end CLI tests for the serving commands and the console entry."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import save_framework
+from repro.datasets.runs_io import save_runs
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def artifacts(trained, corpus, tmp_path):
+    """A saved model pickle and a pool archive on disk."""
+    model = save_framework(trained, tmp_path / "model.pkl")
+    archive = save_runs(corpus["pool"], tmp_path / "pool.npz")
+    return {"model": model, "archive": archive, "root": tmp_path / "registry"}
+
+
+class TestRegistryCommand:
+    def test_publish_list_rollback(self, artifacts, capsys):
+        root = str(artifacts["root"])
+        assert main(["registry", "list", "--root", root]) == 0
+        assert "empty" in capsys.readouterr().out
+
+        assert main([
+            "registry", "publish", "--root", root,
+            "--model", str(artifacts["model"]), "--tag", "seed",
+        ]) == 0
+        assert "published v0001" in capsys.readouterr().out
+
+        assert main([
+            "registry", "publish", "--root", root,
+            "--model", str(artifacts["model"]),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["registry", "list", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out and "v0002" in out
+        assert "* v0002" in out  # current marker
+        assert "tag=seed" in out
+
+        assert main(["registry", "rollback", "--root", root]) == 0
+        assert "current -> v0001" in capsys.readouterr().out
+
+        assert main([
+            "registry", "activate", "--root", root, "--ref", "v0002",
+        ]) == 0
+        assert "current -> v0002" in capsys.readouterr().out
+
+    def test_publish_requires_model(self, artifacts, capsys):
+        assert main([
+            "registry", "publish", "--root", str(artifacts["root"]),
+        ]) == 2
+        assert "--model" in capsys.readouterr().err
+
+    def test_rollback_on_empty_registry_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "registry", "rollback", "--root", str(tmp_path / "none"),
+        ]) == 2
+        assert "registry error" in capsys.readouterr().err
+
+
+class TestServeBatchCommand:
+    def test_serve_batch_prints_stats(self, artifacts, capsys):
+        root = str(artifacts["root"])
+        assert main([
+            "registry", "publish", "--root", root,
+            "--model", str(artifacts["model"]),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve-batch", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--max-batch", "8", "--linger-ms", "20", "--escalate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving v0001" in out
+        assert "scored" in out
+        assert "batch_size_histogram" in out
+        assert "escalation queue depth" in out
+
+    def test_serve_batch_on_empty_registry_fails_cleanly(
+        self, artifacts, tmp_path, capsys
+    ):
+        assert main([
+            "serve-batch", "--registry", str(tmp_path / "nothing"),
+            "--runs", str(artifacts["archive"]),
+        ]) == 2
+        assert "registry error" in capsys.readouterr().err
+
+    def test_serve_batch_respects_limit(self, artifacts, capsys):
+        root = str(artifacts["root"])
+        main(["registry", "publish", "--root", root,
+              "--model", str(artifacts["model"])])
+        capsys.readouterr()
+        assert main([
+            "serve-batch", "--registry", root,
+            "--runs", str(artifacts["archive"]), "--limit", "3",
+        ]) == 0
+        assert "scored 3 runs" in capsys.readouterr().out
+
+
+class TestConsoleEntry:
+    def test_python_dash_m_repro_help(self):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0
+        assert "serve-batch" in proc.stdout
+        assert "registry" in proc.stdout
+
+    def test_console_script_declared(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert 'repro = "repro.cli:main"' in pyproject

@@ -1,0 +1,132 @@
+"""Tests for the versioned on-disk model registry."""
+
+import copy
+import json
+
+import pytest
+
+from repro.serving.registry import ModelRegistry, RegistryError
+
+
+class TestPublishLoad:
+    def test_publish_load_roundtrip(self, trained, corpus, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        version = registry.publish(trained, tag="first")
+        assert version.version_id == "v0001"
+        restored, loaded_version = registry.load("current")
+        assert loaded_version.version_id == "v0001"
+        pool = corpus["pool"][:5]
+        assert [d.label for d in restored.diagnose(pool)] == [
+            d.label for d in trained.diagnose(pool)
+        ]
+
+    def test_manifest_contents(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        version = registry.publish(trained, tag="audit")
+        manifest = json.loads((version.path / "manifest.json").read_text())
+        assert manifest["tag"] == "audit"
+        assert manifest["format_version"] == 1
+        assert manifest["n_features"] == 30
+        assert manifest["config"]["model"] == "random_forest"
+        assert "healthy" in manifest["classes"]
+        assert manifest["train_fingerprint"] != "untrained"
+        assert manifest["created_at"] > 0
+
+    def test_version_ids_increment(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        ids = [registry.publish(trained).version_id for _ in range(3)]
+        assert ids == ["v0001", "v0002", "v0003"]
+
+    def test_fingerprint_changes_after_absorb(self, trained, corpus, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        v1 = registry.publish(trained)
+        grown = copy.deepcopy(trained)
+        extra = corpus["pool"][:3]
+        grown.absorb(extra, [r.label for r in extra])
+        v2 = registry.publish(grown)
+        assert (
+            v1.manifest["train_fingerprint"] != v2.manifest["train_fingerprint"]
+        )
+
+
+class TestResolve:
+    def test_latest_and_tag(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained, tag="a")
+        registry.publish(trained, tag="b")
+        assert registry.resolve("latest").version_id == "v0002"
+        assert registry.resolve("a").version_id == "v0001"
+        assert registry.resolve("v0001").version_id == "v0001"
+
+    def test_tag_resolves_to_most_recent(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained, tag="nightly")
+        registry.publish(trained, tag="nightly")
+        assert registry.resolve("nightly").version_id == "v0002"
+
+    def test_unknown_ref_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        with pytest.raises(RegistryError, match="unknown version"):
+            registry.resolve("v9999")
+
+    def test_empty_registry_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="no published"):
+            registry.resolve("current")
+
+
+class TestPointer:
+    def test_publish_activates_by_default(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        registry.publish(trained)
+        assert registry.current_id() == "v0002"
+
+    def test_publish_without_activate(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        registry.publish(trained, activate=False)
+        assert registry.current_id() == "v0001"
+
+    def test_rollback_steps_back_one(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        registry.publish(trained)
+        registry.publish(trained)
+        assert registry.rollback().version_id == "v0002"
+        assert registry.current_id() == "v0002"
+        assert registry.rollback().version_id == "v0001"
+
+    def test_rollback_to_explicit_ref(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained, tag="good")
+        registry.publish(trained)
+        assert registry.rollback("good").version_id == "v0001"
+
+    def test_rollback_past_oldest_rejected(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        with pytest.raises(RegistryError, match="oldest"):
+            registry.rollback()
+
+    def test_rollback_leaves_versions_intact(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        registry.publish(trained)
+        registry.rollback()
+        assert [v.version_id for v in registry.list_versions()] == [
+            "v0001",
+            "v0002",
+        ]
+        # and the rolled-back-from version still loads
+        fw, _ = registry.load("v0002")
+        assert fw.model is not None
+
+    def test_no_staging_leftovers(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained)
+        leftovers = [
+            p for p in registry.versions_dir.iterdir() if p.name.startswith(".")
+        ]
+        assert leftovers == []

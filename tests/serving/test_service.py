@@ -1,0 +1,120 @@
+"""Tests for the DiagnosisService façade: cache, hot swap, refresh."""
+
+import copy
+
+import pytest
+
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import DiagnosisService
+
+
+@pytest.fixture()
+def registry(trained, tmp_path):
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.publish(trained, tag="seed")
+    return registry
+
+
+class TestServing:
+    def test_matches_offline_diagnose(self, registry, trained, corpus):
+        pool = corpus["pool"][:6]
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            served = [service.diagnose(run) for run in pool]
+        offline = trained.diagnose(pool)
+        assert [d.label for d in served] == [d.label for d in offline]
+        assert [d.confidence for d in served] == pytest.approx(
+            [d.confidence for d in offline]
+        )
+
+    def test_diagnose_many_matches_submit(self, registry, corpus):
+        pool = corpus["pool"][:6]
+        with DiagnosisService(registry, cache_size=0) as service:
+            bulk = service.diagnose_many(pool)
+            single = [service.submit(run).result(timeout=5.0) for run in pool]
+        assert [d.label for d in bulk] == [d.label for d in single]
+
+    def test_unstarted_service_rejects_requests(self, registry, corpus):
+        service = DiagnosisService(registry)
+        with pytest.raises(RuntimeError, match="not started"):
+            service.diagnose(corpus["pool"][0])
+        with pytest.raises(RuntimeError, match="not started"):
+            _ = service.version
+
+
+class TestResultCache:
+    def test_repeat_run_hits_cache(self, registry, corpus):
+        run = corpus["pool"][0]
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            first = service.diagnose(run)
+            again = service.diagnose(run)
+        assert again == first
+        snap = service.stats.snapshot()
+        assert snap["cache_hits"] == 1
+        # the second request never reached the scorer
+        assert sum(
+            size * n for size, n in snap["batch_size_histogram"].items()
+        ) == 1
+
+    def test_cache_respects_capacity(self, registry, corpus):
+        pool = corpus["pool"][:4]
+        with DiagnosisService(registry, cache_size=2) as service:
+            service.diagnose_many(pool)
+            assert len(service._cache) == 2
+
+    def test_cache_disabled(self, registry, corpus):
+        run = corpus["pool"][0]
+        with DiagnosisService(registry, cache_size=0) as service:
+            service.diagnose(run)
+            service.diagnose(run)
+        assert service.stats.snapshot()["cache_hits"] == 0
+
+
+class TestHotSwap:
+    def test_swap_mid_stream_keeps_queued_requests(self, registry, trained, corpus):
+        grown = copy.deepcopy(trained)
+        extra = corpus["pool"][:4]
+        grown.absorb(extra, [r.label for r in extra])
+        v2 = registry.publish(grown, activate=False)
+
+        pool = corpus["pool"] + corpus["holdout"]
+        # a generous linger keeps requests queued while we swap underneath
+        with DiagnosisService(
+            registry, max_batch=4, max_linger_s=0.25, cache_size=0
+        ) as service:
+            assert service.version.version_id == "v0001"
+            futures = [service.submit(run) for run in pool]
+            swapped = service.swap(v2.version_id)
+            results = [f.result(timeout=10.0) for f in futures]
+        assert swapped.version_id == "v0002"
+        assert service.version.version_id == "v0002"
+        assert len(results) == len(pool)
+        assert all(r.label for r in results)
+        assert service.stats.snapshot()["model_swaps"] == 1
+
+    def test_refresh_follows_registry_pointer(self, registry, trained, corpus):
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            assert service.refresh() is False  # pointer unchanged
+            registry.publish(copy.deepcopy(trained), tag="next")
+            assert service.refresh() is True
+            assert service.version.version_id == "v0002"
+            # still serves after the swap
+            assert service.diagnose(corpus["pool"][0]).label
+
+    def test_swap_clears_cache(self, registry, trained, corpus):
+        run = corpus["pool"][0]
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            service.diagnose(run)
+            registry.publish(copy.deepcopy(trained))
+            service.refresh()
+            assert len(service._cache) == 0
+
+    def test_rollback_then_refresh_restores_old_version(
+        self, registry, trained, corpus
+    ):
+        registry.publish(copy.deepcopy(trained))
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            assert service.version.version_id == "v0002"
+            registry.rollback()
+            assert service.refresh() is True
+            assert service.version.version_id == "v0001"
+            assert service.diagnose(corpus["pool"][0]).label

@@ -60,6 +60,12 @@ class TestParser:
         parser.parse_args(["train", "--runs", "r.npz", "--out", "m.pkl"])
         parser.parse_args(["diagnose", "--model", "m.pkl", "--runs", "r.npz"])
         parser.parse_args(["evaluate", "--model", "m.pkl", "--runs", "r.npz"])
+        parser.parse_args(["registry", "list", "--root", "reg"])
+        parser.parse_args(["serve-batch", "--registry", "reg", "--runs", "r.npz"])
+
+    def test_registry_action_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry", "destroy", "--root", "reg"])
 
 
 class TestCommands:
