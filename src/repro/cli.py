@@ -92,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--escalate", action="store_true",
                    help="route low-confidence verdicts to the escalation queue")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request TTL; expired requests fail fast")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries (with backoff) for transient scoring failures")
+    p.add_argument("--degrade-after", type=int, default=None,
+                   help="serve flagged fallback diagnoses after N consecutive "
+                        "batch failures (circuit breaker)")
+    p.add_argument("--stall-timeout-s", type=float, default=None,
+                   help="watchdog: restart a dispatch loop stuck this long")
+    p.add_argument("--health", action="store_true",
+                   help="print the health/readiness probe after serving")
     return parser
 
 
@@ -275,39 +286,71 @@ def _cmd_registry(args) -> int:
 
 def _cmd_serve_batch(args) -> int:
     from .datasets.runs_io import load_runs
-    from .serving import DiagnosisService, EscalationQueue, ModelRegistry, RegistryError
+    from .serving import (
+        CircuitBreaker,
+        DiagnosisService,
+        EscalationQueue,
+        ModelRegistry,
+        RegistryError,
+        RetryPolicy,
+        ServingError,
+    )
 
     runs = load_runs(args.runs)
     if args.limit is not None:
         runs = runs[: args.limit]
     escalation = EscalationQueue() if args.escalate else None
+    breaker = (
+        CircuitBreaker(failure_threshold=args.degrade_after)
+        if args.degrade_after is not None
+        else None
+    )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     service = DiagnosisService(
         ModelRegistry(args.registry),
         max_batch=args.max_batch,
         max_linger_s=args.linger_ms / 1000.0,
         escalation=escalation,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        retry=retry,
+        breaker=breaker,
+        watchdog_stall_s=args.stall_timeout_s,
     )
     try:
         service.start(args.ref)
     except RegistryError as exc:
         print(f"registry error: {exc}", file=sys.stderr)
         return 2
+    failures: dict[str, int] = {}
     with service:
         print(f"serving {service.version.version_id} "
               f"(fingerprint {service.version.manifest.get('train_fingerprint')})")
         # submit singly so the micro-batcher does the coalescing
         futures = [service.submit(run) for run in runs]
-        diagnoses = [f.result() for f in futures]
+        diagnoses = []
+        for f in futures:
+            try:
+                diagnoses.append(f.result())
+            except ServingError as exc:
+                kind = type(exc).__name__
+                failures[kind] = failures.get(kind, 0) + 1
+        health = service.health() if args.health else None
     labels: dict[str, int] = {}
     for d in diagnoses:
         labels[d.label] = labels.get(d.label, 0) + 1
     print(f"scored {len(diagnoses)} runs")
     for label, count in sorted(labels.items()):
         print(f"  {label:<12} {count}")
+    for kind, count in sorted(failures.items()):
+        print(f"  [failed] {kind:<12} {count}")
     snap = service.stats.snapshot()
     print("service stats:")
     for key in ("requests", "batches", "mean_batch_size",
-                "mean_batch_latency_s", "cache_hits", "escalations"):
+                "mean_batch_latency_s", "cache_hits", "escalations",
+                "retries", "deadline_drops", "watchdog_restarts",
+                "degraded_responses"):
         value = snap[key]
         print(f"  {key:<22} {value:.4f}" if isinstance(value, float)
               else f"  {key:<22} {value}")
@@ -315,6 +358,11 @@ def _cmd_serve_batch(args) -> int:
     if escalation is not None:
         print(f"escalation queue depth: {len(escalation)} "
               f"(rate {escalation.escalation_rate:.2f})")
+    if health is not None:
+        print("health:")
+        for key, value in health.items():
+            shown = f"{value:.4f}" if isinstance(value, float) else value
+            print(f"  {key:<22} {shown}")
     return 0
 
 

@@ -6,29 +6,56 @@ long-running serving path:
 * :mod:`repro.serving.registry` — versioned on-disk model registry with
   an atomic ``CURRENT`` pointer, list and rollback.
 * :mod:`repro.serving.engine` — micro-batching inference engine with
-  bounded-queue backpressure.
+  bounded-queue backpressure, per-request deadlines, and retry.
 * :mod:`repro.serving.service` — the ``DiagnosisService`` façade: warm
-  load, result cache, hot version swap, escalation wiring.
+  load, result cache, hot version swap, escalation wiring, health and
+  readiness probes.
 * :mod:`repro.serving.escalation` — annotation escalation queue closing
   the active-learning loop online.
+* :mod:`repro.serving.reliability` — typed serving errors, retry policy,
+  circuit breaker, and the dispatcher watchdog.
 * :mod:`repro.serving.stats` — service counters as a plain-dict snapshot.
 """
 
 from .engine import BackpressureError, MicroBatcher
 from .escalation import EscalationItem, EscalationQueue, apply_annotations
 from .registry import ModelRegistry, ModelVersion, RegistryError
+from .reliability import (
+    FALLBACK_LABEL,
+    CircuitBreaker,
+    DeadlineExceeded,
+    DispatcherRestarted,
+    DispatcherWatchdog,
+    EngineClosedError,
+    PredictionMismatchError,
+    RetryPolicy,
+    ServingError,
+    fallback_diagnosis,
+    is_fallback,
+)
 from .service import DiagnosisService
 from .stats import ServiceStats
 
 __all__ = [
     "BackpressureError",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "DiagnosisService",
+    "DispatcherRestarted",
+    "DispatcherWatchdog",
+    "EngineClosedError",
     "EscalationItem",
     "EscalationQueue",
+    "FALLBACK_LABEL",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "PredictionMismatchError",
     "RegistryError",
+    "RetryPolicy",
     "ServiceStats",
+    "ServingError",
     "apply_annotations",
+    "fallback_diagnosis",
+    "is_fallback",
 ]

@@ -14,17 +14,34 @@ Backpressure is explicit: a full request queue either blocks the
 submitter or raises :class:`BackpressureError`, per the configured
 policy. A synchronous :meth:`MicroBatcher.diagnose_many` fast path skips
 the queue entirely for callers that already hold a batch.
+
+Reliability invariant (see :mod:`repro.serving.reliability`): **every
+accepted future resolves** — with a diagnosis, or with a typed error
+(:class:`~repro.serving.reliability.DeadlineExceeded`,
+:class:`~repro.serving.reliability.PredictionMismatchError`,
+:class:`~repro.serving.reliability.EngineClosedError`,
+:class:`~repro.serving.reliability.DispatcherRestarted`, or whatever
+``predict_fn`` raised after retries were exhausted). A misbehaving
+``predict_fn`` can fail requests; it can never strand a submitter.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Sequence
 
 from ..telemetry.collector import RunRecord
+from .reliability import (
+    DeadlineExceeded,
+    DispatcherRestarted,
+    EngineClosedError,
+    PredictionMismatchError,
+    RetryPolicy,
+)
 from .stats import ServiceStats
 
 __all__ = ["MicroBatcher", "BackpressureError"]
@@ -32,6 +49,18 @@ __all__ = ["MicroBatcher", "BackpressureError"]
 
 class BackpressureError(RuntimeError):
     """The request queue is full and the backpressure policy is ``"error"``."""
+
+
+class _Request:
+    """One queued run: its future, optional expiry, and settlement flag."""
+
+    __slots__ = ("run", "future", "deadline", "settled")
+
+    def __init__(self, run, deadline: float | None):
+        self.run = run
+        self.future: Future = Future()
+        self.deadline = deadline
+        self.settled = False
 
 
 class MicroBatcher:
@@ -54,6 +83,15 @@ class MicroBatcher:
     policy:
         ``"block"`` (submit waits for space) or ``"error"`` (submit raises
         :class:`BackpressureError` immediately).
+    default_deadline_s:
+        TTL applied to every :meth:`submit` that does not pass its own;
+        ``None`` means requests never expire. Expired requests fail fast
+        with :class:`~repro.serving.reliability.DeadlineExceeded` at
+        dispatch time instead of occupying batch slots.
+    retry:
+        Optional :class:`~repro.serving.reliability.RetryPolicy`;
+        transient ``predict_fn`` failures are retried with backoff before
+        the batch is failed.
     stats:
         Optional shared :class:`~repro.serving.stats.ServiceStats`.
     """
@@ -65,6 +103,8 @@ class MicroBatcher:
         max_linger_s: float = 0.005,
         queue_size: int = 1024,
         policy: str = "block",
+        default_deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
         stats: ServiceStats | None = None,
     ):
         if max_batch < 1:
@@ -75,36 +115,68 @@ class MicroBatcher:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         if policy not in ("block", "error"):
             raise ValueError(f"policy must be 'block' or 'error', got {policy!r}")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {default_deadline_s}"
+            )
         self.predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_linger_s = max_linger_s
         self.policy = policy
+        self.default_deadline_s = default_deadline_s
+        self.retry = retry
         self.stats = stats or ServiceStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._closed = threading.Event()
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="repro-microbatcher", daemon=True
-        )
-        self._dispatcher.start()
+        # _idle guards the accepted-but-unresolved request count plus the
+        # in-flight batch table and dispatcher generation; flush() waits on it
+        self._idle = threading.Condition()
+        self._pending = 0
+        self._inflight: dict[int, tuple[list[_Request], float]] = {}
+        self._tokens = itertools.count()
+        self._generation = 0
+        self._restarts = 0
+        self._heartbeat = time.monotonic()
+        self._dispatcher: threading.Thread
+        self._start_dispatcher()
 
     # ------------------------------------------------------------------
-    def submit(self, run: RunRecord) -> Future:
-        """Enqueue one run; the returned future resolves to its Diagnosis."""
+    def submit(self, run: RunRecord, deadline_s: float | None = None) -> Future:
+        """Enqueue one run; the returned future resolves to its Diagnosis.
+
+        ``deadline_s`` overrides ``default_deadline_s`` for this request.
+        The future always completes: with a diagnosis, or a typed error.
+        """
         if self._closed.is_set():
-            raise RuntimeError("engine is closed")
-        future: Future = Future()
-        item = (run, future)
-        if self.policy == "error":
-            try:
-                self._queue.put_nowait(item)
-            except queue.Full:
-                raise BackpressureError(
-                    f"request queue full ({self._queue.maxsize} pending)"
-                ) from None
-        else:
-            self._queue.put(item)
+            raise EngineClosedError("engine is closed")
+        ttl = self.default_deadline_s if deadline_s is None else deadline_s
+        deadline = None if ttl is None else time.monotonic() + ttl
+        req = _Request(run, deadline)
+        with self._idle:
+            self._pending += 1
+        try:
+            if self.policy == "error":
+                try:
+                    self._queue.put_nowait(req)
+                except queue.Full:
+                    raise BackpressureError(
+                        f"request queue full ({self._queue.maxsize} pending)"
+                    ) from None
+            else:
+                self._queue.put(req)
+        except BaseException:
+            with self._idle:
+                self._pending -= 1
+                self._idle.notify_all()
+            raise
         self.stats.record_request()
-        return future
+        if self._closed.is_set():
+            # close() may have drained the queue before our put landed;
+            # fail the future rather than strand it behind a dead dispatcher
+            self._resolve(
+                req, exception=EngineClosedError("engine closed during submit")
+            )
+        return req.future
 
     def diagnose_many(self, runs: Sequence[RunRecord]) -> list:
         """Synchronous fast path: score an in-hand batch without queueing.
@@ -115,32 +187,84 @@ class MicroBatcher:
         latency-sensitive queued traffic between slices.
         """
         if self._closed.is_set():
-            raise RuntimeError("engine is closed")
+            raise EngineClosedError("engine is closed")
+        # count requests at acceptance (as submit() does), not after scoring,
+        # so a failing batch leaves identical accounting on both paths
+        self.stats.record_request(len(runs))
         results: list = []
         for start in range(0, len(runs), self.max_batch):
             chunk = list(runs[start : start + self.max_batch])
             t0 = time.perf_counter()
             out = self.predict_fn(chunk)
+            n_out = len(out) if hasattr(out, "__len__") else -1
+            if n_out != len(chunk):
+                raise PredictionMismatchError(
+                    f"predict_fn returned {n_out} diagnoses for {len(chunk)} runs"
+                )
             self.stats.record_batch(len(chunk), time.perf_counter() - t0)
             results.extend(out)
-        self.stats.record_request(len(runs))
         return results
 
     def flush(self, timeout: float = 10.0) -> None:
-        """Block until every queued request has been dispatched."""
+        """Block until every accepted request has *resolved*.
+
+        Covers queued requests and dispatched-but-unfinished batches alike
+        — the engine tracks accepted-but-unresolved requests explicitly,
+        so flush cannot return while ``predict_fn`` is still chewing on a
+        batch the queue no longer shows.
+        """
         deadline = time.monotonic() + timeout
-        while not self._queue.empty():
-            if time.monotonic() > deadline:
-                raise TimeoutError("engine did not drain in time")
-            time.sleep(0.001)
+        with self._idle:
+            while self._pending > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"engine did not drain in time "
+                        f"({self._pending} requests unresolved)"
+                    )
+                self._idle.wait(min(remaining, 0.05))
 
     def close(self, timeout: float = 10.0) -> None:
-        """Drain the queue, then stop the dispatcher thread."""
+        """Drain the queue, stop the dispatcher, fail whatever remains.
+
+        Best-effort drain first; past the deadline, every still-pending
+        future (queued or stuck in flight) is failed with
+        :class:`~repro.serving.reliability.EngineClosedError` instead of
+        being abandoned.
+        """
         if self._closed.is_set():
             return
-        self.flush(timeout)
+        drained = True
+        try:
+            self.flush(timeout)
+        except TimeoutError:
+            drained = False
         self._closed.set()
-        self._dispatcher.join(timeout)
+        self._dispatcher.join(timeout if drained else 0.1)
+        # fail anything the dispatcher will never reach: items a racing
+        # submit() enqueued after the loop exited, plus (when the drain
+        # timed out) the batch wedged inside predict_fn
+        while True:
+            try:
+                req = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._resolve(
+                req,
+                exception=EngineClosedError(
+                    "engine closed before this request was scored"
+                ),
+            )
+        with self._idle:
+            stale = [req for batch, _ in self._inflight.values() for req in batch]
+            self._inflight.clear()
+        for req in stale:
+            self._resolve(
+                req,
+                exception=EngineClosedError(
+                    "engine closed while this request was in flight"
+                ),
+            )
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -148,14 +272,92 @@ class MicroBatcher:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
+        """Accepted requests not yet resolved (queued or in flight)."""
+        with self._idle:
+            return self._pending
+
+    @property
+    def queue_depth(self) -> int:
         """Requests currently waiting in the queue (approximate)."""
         return self._queue.qsize()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def dispatcher_alive(self) -> bool:
+        """Whether the current dispatcher generation's thread is running."""
+        return self._dispatcher.is_alive()
+
+    @property
+    def heartbeat_age_s(self) -> float:
+        """Seconds since the dispatch loop last went around."""
+        return time.monotonic() - self._heartbeat
+
+    @property
+    def restarts(self) -> int:
+        """Dispatcher restarts performed (by a watchdog or manually)."""
+        with self._idle:
+            return self._restarts
+
+    def oldest_inflight_age(self) -> float | None:
+        """Age of the longest-running dispatched batch, ``None`` if idle."""
+        with self._idle:
+            if not self._inflight:
+                return None
+            started = min(at for _, at in self._inflight.values())
+        return time.monotonic() - started
+
+    def restart_dispatcher(self, reason: str = "manual restart") -> int:
+        """Fail the in-flight batch and start a fresh dispatcher generation.
+
+        The watchdog's recovery action (see
+        :class:`~repro.serving.reliability.DispatcherWatchdog`). Returns
+        the number of in-flight futures failed. The superseded thread —
+        possibly wedged inside ``predict_fn`` — exits on its next loop
+        check because its generation token no longer matches; any late
+        results it produces land on already-resolved futures and are
+        discarded.
+        """
+        with self._idle:
+            if self._closed.is_set():
+                return 0
+            self._generation += 1
+            stale = [req for batch, _ in self._inflight.values() for req in batch]
+            self._inflight.clear()
+            self._restarts += 1
+        for req in stale:
+            self._resolve(
+                req, exception=DispatcherRestarted(f"dispatcher restarted: {reason}")
+            )
+        self.stats.record_watchdog_restart()
+        self._start_dispatcher()
+        return len(stale)
+
     # ------------------------------------------------------------------
-    def _dispatch_loop(self) -> None:
-        while not self._closed.is_set():
+    def _start_dispatcher(self) -> None:
+        with self._idle:
+            generation = self._generation
+        thread = threading.Thread(
+            target=self._dispatch_loop,
+            args=(generation,),
+            name=f"repro-microbatcher-g{generation}",
+            daemon=True,
+        )
+        self._dispatcher = thread
+        thread.start()
+
+    def _current(self, generation: int) -> bool:
+        with self._idle:
+            return generation == self._generation
+
+    def _dispatch_loop(self, generation: int) -> None:
+        while not self._closed.is_set() and self._current(generation):
+            self._heartbeat = time.monotonic()
             try:
                 first = self._queue.get(timeout=0.05)
             except queue.Empty:
@@ -170,19 +372,109 @@ class MicroBatcher:
                     batch.append(self._queue.get(timeout=max(remaining, 0)))
                 except queue.Empty:
                     break
-            self._run_batch(batch)
+            live = self._drop_expired(batch)
+            if not live:
+                continue
+            token = next(self._tokens)
+            with self._idle:
+                if generation != self._generation:
+                    # superseded while coalescing: the restarted generation
+                    # owns the queue now; don't score on a zombie loop
+                    continue
+                self._inflight[token] = (live, time.monotonic())
+            try:
+                self._run_batch(live)
+            except BaseException:
+                # a bug escaped _run_batch; resolve the batch so no
+                # submitter hangs, then let the thread die — the watchdog
+                # notices the dead dispatcher and restarts it
+                for req in live:
+                    self._resolve(
+                        req,
+                        exception=DispatcherRestarted(
+                            "dispatch loop crashed while scoring this batch"
+                        ),
+                    )
+                raise
+            finally:
+                with self._idle:
+                    self._inflight.pop(token, None)
 
-    def _run_batch(self, batch: list) -> None:
-        runs = [run for run, _ in batch]
-        t0 = time.perf_counter()
-        try:
-            diagnoses = self.predict_fn(runs)
-        except BaseException as exc:  # propagate to every waiter, keep serving
-            for _, future in batch:
-                if not future.cancelled():
-                    future.set_exception(exc)
-            return
+    def _drop_expired(self, batch: list[_Request]) -> list[_Request]:
+        """Fail expired requests so they don't occupy batch slots."""
+        now = time.monotonic()
+        live = []
+        for req in batch:
+            if req.deadline is not None and now >= req.deadline:
+                self.stats.record_deadline_drop()
+                self._resolve(
+                    req,
+                    exception=DeadlineExceeded(
+                        "request expired in queue before dispatch"
+                    ),
+                )
+            else:
+                live.append(req)
+        return live
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        runs = [req.run for req in batch]
+        attempt = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                diagnoses = self.predict_fn(runs)
+                break
+            except BaseException as exc:
+                policy = self.retry
+                if (
+                    policy is not None
+                    and attempt < policy.max_retries
+                    and policy.retryable(exc)
+                    and not self._closed.is_set()
+                ):
+                    self.stats.record_retry()
+                    delay = policy.delay(attempt)
+                    attempt += 1
+                    if delay > 0:
+                        self._closed.wait(delay)  # interruptible backoff
+                    continue
+                for req in batch:  # propagate to every waiter, keep serving
+                    self._resolve(req, exception=exc)
+                return
         self.stats.record_batch(len(batch), time.perf_counter() - t0)
-        for (_, future), diagnosis in zip(batch, diagnoses):
-            if not future.cancelled():
-                future.set_result(diagnosis)
+        n_out = len(diagnoses) if hasattr(diagnoses, "__len__") else -1
+        if n_out != len(runs):
+            # a silent zip here would leave the trailing futures hanging
+            # forever; fail the whole batch with a typed contract error
+            exc = PredictionMismatchError(
+                f"predict_fn returned {n_out} diagnoses for {len(runs)} runs"
+            )
+            for req in batch:
+                self._resolve(req, exception=exc)
+            return
+        for req, diagnosis in zip(batch, diagnoses):
+            self._resolve(req, result=diagnosis)
+
+    def _resolve(self, req: _Request, result=None, exception=None) -> bool:
+        """Settle one request exactly once; safe across racing resolvers.
+
+        The dispatcher, a watchdog restart, and close() may all try to
+        settle the same request; the ``settled`` flag keeps the pending
+        count exact and the ``InvalidStateError`` guard absorbs a loser
+        racing a future the winner already completed.
+        """
+        with self._idle:
+            if req.settled:
+                return False
+            req.settled = True
+            self._pending -= 1
+            self._idle.notify_all()
+        try:
+            if exception is not None:
+                req.future.set_exception(exception)
+            elif not req.future.cancelled():
+                req.future.set_result(result)
+        except InvalidStateError:  # cancelled or raced; the waiter is served
+            pass
+        return True

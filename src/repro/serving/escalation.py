@@ -17,6 +17,7 @@ runs offline.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -65,33 +66,39 @@ class EscalationQueue:
         self.controller = controller or ThresholdController()
         self._items: deque[EscalationItem] = deque(maxlen=maxlen)
         self.n_dropped = 0
+        # offer() runs on the engine's dispatcher thread while drain() runs
+        # on whatever control thread owns the annotator; the controller
+        # mutates on every offer, so the whole decision must be atomic
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def offer(self, run: RunRecord, diagnosis: Diagnosis) -> bool:
         """Consider one served prediction; enqueue it if uncertain enough."""
         uncertainty = 1.0 - diagnosis.confidence
-        threshold_used = self.controller.threshold
-        if not self.controller.should_query(uncertainty):
-            return False
-        if len(self._items) == self._items.maxlen:
-            self.n_dropped += 1
-        self._items.append(
-            EscalationItem(
-                run=run,
-                diagnosis=diagnosis,
-                uncertainty=uncertainty,
-                threshold=threshold_used,
+        with self._lock:
+            threshold_used = self.controller.threshold
+            if not self.controller.should_query(uncertainty):
+                return False
+            if len(self._items) == self._items.maxlen:
+                self.n_dropped += 1
+            self._items.append(
+                EscalationItem(
+                    run=run,
+                    diagnosis=diagnosis,
+                    uncertainty=uncertainty,
+                    threshold=threshold_used,
+                )
             )
-        )
         return True
 
     def drain(self, n: int | None = None) -> list[EscalationItem]:
         """Hand up to ``n`` items (oldest first) to the annotator."""
-        if n is None:
-            n = len(self._items)
-        drained = []
-        while self._items and len(drained) < n:
-            drained.append(self._items.popleft())
+        drained: list[EscalationItem] = []
+        with self._lock:
+            if n is None:
+                n = len(self._items)
+            while self._items and len(drained) < n:
+                drained.append(self._items.popleft())
         return drained
 
     def __len__(self) -> int:

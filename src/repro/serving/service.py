@@ -8,6 +8,14 @@ low-confidence verdicts to the :class:`EscalationQueue`, and hot-swaps to
 a newly published registry version *between* batches — queued requests
 are raw runs, so none are lost or scored against a torn model during a
 swap.
+
+Reliability wiring (see :mod:`repro.serving.reliability`): requests may
+carry deadlines, transient scoring failures retry with backoff, an
+optional watchdog restarts a crashed/stuck dispatch loop, and an
+optional circuit breaker turns a failing model path into flagged
+``degraded`` fallback verdicts (still escalated to the annotator) rather
+than an error for every caller. :meth:`DiagnosisService.health` and
+:meth:`DiagnosisService.ready` expose liveness/readiness probes.
 """
 
 from __future__ import annotations
@@ -22,6 +30,12 @@ from ..telemetry.collector import RunRecord
 from .engine import MicroBatcher
 from .escalation import EscalationItem, EscalationQueue, apply_annotations
 from .registry import ModelRegistry, ModelVersion
+from .reliability import (
+    CircuitBreaker,
+    DispatcherWatchdog,
+    RetryPolicy,
+    fallback_diagnosis,
+)
 from .stats import ServiceStats
 
 __all__ = ["DiagnosisService"]
@@ -41,6 +55,22 @@ class DiagnosisService:
     escalation:
         Optional :class:`EscalationQueue`; omit to serve without an
         annotation loop.
+    default_deadline_s:
+        Optional per-request TTL forwarded to the engine; expired
+        requests fail fast with
+        :class:`~repro.serving.reliability.DeadlineExceeded`.
+    retry:
+        Optional :class:`~repro.serving.reliability.RetryPolicy` for
+        transient scoring failures.
+    breaker:
+        Optional :class:`~repro.serving.reliability.CircuitBreaker`;
+        after its failure threshold trips, callers receive flagged
+        ``degraded`` fallback diagnoses (still escalated) instead of
+        errors, until a recovery probe succeeds.
+    watchdog_stall_s:
+        When set, :meth:`start` also starts a
+        :class:`~repro.serving.reliability.DispatcherWatchdog` that fails
+        and restarts a dispatch loop stuck longer than this many seconds.
     """
 
     def __init__(
@@ -52,11 +82,20 @@ class DiagnosisService:
         policy: str = "block",
         cache_size: int = 4096,
         escalation: EscalationQueue | None = None,
+        default_deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        watchdog_stall_s: float | None = None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if watchdog_stall_s is not None and watchdog_stall_s <= 0:
+            raise ValueError(
+                f"watchdog_stall_s must be > 0, got {watchdog_stall_s}"
+            )
         self.registry = registry
         self.escalation = escalation
+        self.breaker = breaker
         self.stats = ServiceStats()
         self._cache_size = cache_size
         self._cache: OrderedDict[str, Diagnosis] = OrderedDict()
@@ -64,11 +103,15 @@ class DiagnosisService:
         self._framework: ALBADross | None = None
         self._version: ModelVersion | None = None
         self._engine: MicroBatcher | None = None
+        self._watchdog: DispatcherWatchdog | None = None
+        self._watchdog_stall_s = watchdog_stall_s
         self._engine_opts = dict(
             max_batch=max_batch,
             max_linger_s=max_linger_s,
             queue_size=queue_size,
             policy=policy,
+            default_deadline_s=default_deadline_s,
+            retry=retry,
         )
 
     # ------------------------------------------------------------------
@@ -79,10 +122,17 @@ class DiagnosisService:
         self._engine = MicroBatcher(
             self._predict_batch, stats=self.stats, **self._engine_opts
         )
+        if self._watchdog_stall_s is not None:
+            self._watchdog = DispatcherWatchdog(
+                self._engine, stall_timeout_s=self._watchdog_stall_s
+            ).start()
         return self
 
     def stop(self) -> None:
         """Drain in-flight requests and shut the engine down."""
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         if self._engine is not None:
             self._engine.close()
             self._engine = None
@@ -103,10 +153,11 @@ class DiagnosisService:
         return self._version
 
     # ------------------------------------------------------------------
-    def submit(self, run: RunRecord):
+    def submit(self, run: RunRecord, deadline_s: float | None = None):
         """Asynchronous single-run scoring; returns a future of Diagnosis.
 
         Cache hits resolve immediately without touching the queue.
+        ``deadline_s`` overrides the service-wide default TTL.
         """
         engine = self._require_engine()
         cached = self._cache_get(run)
@@ -117,14 +168,19 @@ class DiagnosisService:
             future.set_result(cached)
             self.stats.record_request()
             return future
-        return engine.submit(run)
+        return engine.submit(run, deadline_s=deadline_s)
 
     def diagnose(self, run: RunRecord) -> Diagnosis:
         """Synchronous single-run scoring (waits for the micro-batch)."""
         return self.submit(run).result()
 
     def diagnose_many(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
-        """Synchronous bulk fast path with cache short-circuiting."""
+        """Synchronous bulk fast path with cache short-circuiting.
+
+        Request/cache-hit accounting is identical to the :meth:`submit`
+        path: every run counts one request at acceptance, every cache hit
+        counts one hit — so snapshots from either path agree.
+        """
         engine = self._require_engine()
         results: list[Diagnosis | None] = [None] * len(runs)
         misses: list[int] = []
@@ -140,6 +196,33 @@ class DiagnosisService:
             for i, diagnosis in zip(misses, fresh):
                 results[i] = diagnosis
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness probe: a plain dict for CLI/exporter consumption."""
+        engine = self._engine
+        breaker = self.breaker
+        return {
+            "started": engine is not None,
+            "ready": self.ready(),
+            "dispatcher_alive": engine.dispatcher_alive if engine else False,
+            "heartbeat_age_s": engine.heartbeat_age_s if engine else None,
+            "queue_depth": engine.queue_depth if engine else 0,
+            "pending": engine.pending if engine else 0,
+            "dispatcher_restarts": engine.restarts if engine else 0,
+            "breaker_state": breaker.state if breaker else "disabled",
+            "version": self._version.version_id if self._version else None,
+            "escalation_depth": (
+                len(self.escalation) if self.escalation is not None else 0
+            ),
+        }
+
+    def ready(self) -> bool:
+        """Readiness probe: started, dispatcher alive, breaker not open."""
+        engine = self._engine
+        if engine is None or engine.closed or not engine.dispatcher_alive:
+            return False
+        return self.breaker is None or self.breaker.state != "open"
 
     # ------------------------------------------------------------------
     def refresh(self) -> bool:
@@ -222,20 +305,47 @@ class DiagnosisService:
 
     def _predict_batch(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
         """The engine's vectorized scorer: one stack pass per micro-batch."""
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            return self._degraded_batch(runs)
         with self._swap_lock:
             framework = self._framework
         if framework is None:
             raise RuntimeError("no framework installed")
-        X = framework.featurize(runs)
-        diagnoses = framework.predict_features(X)
+        try:
+            X = framework.featurize(runs)
+            diagnoses = framework.predict_features(X)
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+                if breaker.state == "open":
+                    # threshold crossed: this and subsequent batches get
+                    # flagged fallbacks instead of erroring every caller
+                    return self._degraded_batch(runs)
+            raise
+        if breaker is not None:
+            breaker.record_success()
         with self._swap_lock:
             # a swap may have landed mid-batch; don't poison the new cache
             stale = framework is not self._framework
             if not stale:
                 for run, diagnosis in zip(runs, diagnoses):
                     self._cache_put(run, diagnosis)
-        if self.escalation is not None:
-            for run, diagnosis in zip(runs, diagnoses):
-                if self.escalation.offer(run, diagnosis):
-                    self.stats.record_escalation()
+        self._offer_escalation(runs, diagnoses)
         return diagnoses
+
+    def _degraded_batch(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
+        """Flagged fallback verdicts: never cached, always escalated."""
+        diagnoses = [fallback_diagnosis() for _ in runs]
+        self.stats.record_degraded(len(runs))
+        self._offer_escalation(runs, diagnoses)
+        return diagnoses
+
+    def _offer_escalation(
+        self, runs: Sequence[RunRecord], diagnoses: Sequence[Diagnosis]
+    ) -> None:
+        if self.escalation is None:
+            return
+        for run, diagnosis in zip(runs, diagnoses):
+            if self.escalation.offer(run, diagnosis):
+                self.stats.record_escalation()

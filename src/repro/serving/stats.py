@@ -2,9 +2,11 @@
 
 Everything the serving subsystem wants to report — request volume, how
 well the micro-batcher is coalescing, cache effectiveness, escalation
-pressure, per-batch latency — funnels through one thread-safe
-:class:`ServiceStats` object. The snapshot is a plain dict so the CLI can
-print it and tests can assert on it without poking at internals.
+pressure, per-batch latency, and the reliability layer's interventions
+(retries, deadline drops, watchdog restarts, degraded responses) —
+funnels through one thread-safe :class:`ServiceStats` object. The
+snapshot is a plain dict so the CLI can print it and tests can assert on
+it without poking at internals.
 """
 
 from __future__ import annotations
@@ -32,6 +34,10 @@ class ServiceStats:
             self._latency_sum = 0.0
             self._latency_max = 0.0
             self._swaps = 0
+            self._retries = 0
+            self._deadline_drops = 0
+            self._watchdog_restarts = 0
+            self._degraded = 0
 
     # ------------------------------------------------------------------
     def record_request(self, n: int = 1) -> None:
@@ -49,6 +55,26 @@ class ServiceStats:
     def record_swap(self) -> None:
         with self._lock:
             self._swaps += 1
+
+    def record_retry(self, n: int = 1) -> None:
+        """One transient ``predict_fn`` failure retried with backoff."""
+        with self._lock:
+            self._retries += n
+
+    def record_deadline_drop(self, n: int = 1) -> None:
+        """One request that expired in the queue before dispatch."""
+        with self._lock:
+            self._deadline_drops += n
+
+    def record_watchdog_restart(self) -> None:
+        """One dispatcher restart (crashed or stalled dispatch loop)."""
+        with self._lock:
+            self._watchdog_restarts += 1
+
+    def record_degraded(self, n: int = 1) -> None:
+        """Fallback diagnoses served while the circuit breaker is open."""
+        with self._lock:
+            self._degraded += n
 
     def record_batch(self, size: int, latency_s: float) -> None:
         """One dispatched micro-batch: its size and wall-clock latency."""
@@ -76,4 +102,8 @@ class ServiceStats:
                 ),
                 "max_batch_latency_s": self._latency_max,
                 "model_swaps": self._swaps,
+                "retries": self._retries,
+                "deadline_drops": self._deadline_drops,
+                "watchdog_restarts": self._watchdog_restarts,
+                "degraded_responses": self._degraded,
             }

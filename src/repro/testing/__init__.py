@@ -1,0 +1,10 @@
+"""repro.testing — deterministic chaos tooling for the serving stack.
+
+* :mod:`repro.testing.faults` — seeded fault-injection wrappers that make
+  any ``predict_fn``/registry/extractor raise, stall, truncate results,
+  or return NaNs on a reproducible schedule.
+"""
+
+from .faults import FaultInjector, FaultPlan, InjectedFault
+
+__all__ = ["FaultInjector", "FaultPlan", "InjectedFault"]

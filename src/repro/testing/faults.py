@@ -1,0 +1,159 @@
+"""Deterministic fault-injection harness for chaos-style tests.
+
+Production failure modes — a wedged extractor, a model that dies
+transiently, a scorer that silently truncates its output or emits NaN
+confidences — are exactly the ones unit tests never exercise by
+accident. This module makes them reproducible: a :class:`FaultPlan`
+decides, per call, which fault to apply (scripted, or seeded-random),
+and :class:`FaultInjector` wraps any callable — a ``predict_fn``, a
+registry ``load``, a feature extractor — with that schedule.
+
+Actions (strings, so plans read like incident timelines):
+
+``"ok"``
+    Delegate untouched.
+``"raise"`` / ``"raise:N"``
+    Raise :class:`InjectedFault` (``N`` repeats the action N calls).
+``"stall:SECONDS"``
+    Sleep, then delegate — models a slow dependency; pair with engine
+    deadlines or the watchdog's stall timeout.
+``"hang"``
+    Block until the injector's :attr:`FaultInjector.release` event is
+    set (bounded by ``hang_limit_s`` so a buggy test cannot wedge CI).
+``"truncate"`` / ``"truncate:N"``
+    Delegate, then drop the last ``N`` (default 1) elements of a
+    sequence result — the contract violation that used to hang
+    micro-batcher futures forever.
+``"nan"``
+    Delegate, then replace every ``Diagnosis`` confidence with NaN.
+
+Everything is deterministic: scripted plans replay verbatim, random
+plans derive from an explicit seed, and the injector logs every decision
+in :attr:`FaultInjector.log` for assertions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from ..core.framework import Diagnosis
+
+__all__ = ["InjectedFault", "FaultPlan", "FaultInjector"]
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by a ``"raise"`` action (clearly not a real bug)."""
+
+
+class FaultPlan:
+    """A per-call schedule of fault actions.
+
+    Build one with :meth:`script` (explicit timeline, repeats expanded,
+    exhausted plans keep returning ``"ok"``) or :meth:`random` (seeded
+    Bernoulli faults, fully reproducible).
+    """
+
+    def __init__(self, next_action: Callable[[int], str]):
+        self._next_action = next_action
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def script(cls, actions: Sequence[str]) -> "FaultPlan":
+        """Replay ``actions`` in order; ``"ok"`` forever after the end."""
+        expanded: list[str] = []
+        for action in actions:
+            kind, _, arg = action.partition(":")
+            if kind in ("raise", "truncate") and arg and arg.isdigit():
+                expanded.extend([kind] * int(arg))
+            else:
+                expanded.append(action)
+
+        def pick(i: int) -> str:
+            return expanded[i] if i < len(expanded) else "ok"
+
+        return cls(pick)
+
+    @classmethod
+    def random(
+        cls, seed: int, p_fault: float = 0.5, action: str = "raise"
+    ) -> "FaultPlan":
+        """Apply ``action`` with probability ``p_fault`` per call, seeded."""
+        if not 0.0 <= p_fault <= 1.0:
+            raise ValueError(f"p_fault must be in [0, 1], got {p_fault}")
+        rng = random.Random(seed)
+
+        def pick(i: int) -> str:
+            return action if rng.random() < p_fault else "ok"
+
+        return cls(pick)
+
+    def next_action(self) -> str:
+        with self._lock:
+            action = self._next_action(self._calls)
+            self._calls += 1
+        return action
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+
+class FaultInjector:
+    """Wrap callables so they fail on a :class:`FaultPlan` schedule.
+
+    One injector can wrap several collaborators (predict, registry load,
+    extractor) against a single shared plan, or each can get its own.
+    ``release`` unblocks every ``"hang"`` in progress — set it from the
+    test once the stall has been observed.
+    """
+
+    def __init__(self, plan: FaultPlan, hang_limit_s: float = 30.0):
+        if hang_limit_s <= 0:
+            raise ValueError(f"hang_limit_s must be > 0, got {hang_limit_s}")
+        self.plan = plan
+        self.hang_limit_s = hang_limit_s
+        self.release = threading.Event()
+        self.stalled = threading.Event()  # set when a stall/hang begins
+        self.log: list[str] = []
+        self._lock = threading.Lock()
+
+    def wrap(self, fn: Callable) -> Callable:
+        """Return ``fn`` guarded by this injector's schedule."""
+
+        def wrapped(*args, **kwargs):
+            action = self.plan.next_action()
+            with self._lock:
+                self.log.append(action)
+            kind, _, arg = action.partition(":")
+            if kind == "raise":
+                raise InjectedFault(f"injected fault (call {self.plan.calls})")
+            if kind == "stall":
+                self.stalled.set()
+                time.sleep(float(arg or "0.1"))
+            elif kind == "hang":
+                self.stalled.set()
+                self.release.wait(self.hang_limit_s)
+            out = fn(*args, **kwargs)
+            if kind == "truncate":
+                drop = int(arg or "1")
+                return list(out)[: max(0, len(out) - drop)]
+            if kind == "nan":
+                return [
+                    replace(d, confidence=math.nan)
+                    if isinstance(d, Diagnosis)
+                    else d
+                    for d in out
+                ]
+            return out
+
+        return wrapped
+
+    # convenience: injector(predict_fn) == injector.wrap(predict_fn)
+    __call__ = wrap

@@ -94,6 +94,27 @@ class TestServeBatchCommand:
         ]) == 2
         assert "registry error" in capsys.readouterr().err
 
+    def test_serve_batch_health_and_reliability_knobs(self, artifacts, capsys):
+        root = str(artifacts["root"])
+        main(["registry", "publish", "--root", root,
+              "--model", str(artifacts["model"])])
+        capsys.readouterr()
+        assert main([
+            "serve-batch", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--retries", "2", "--degrade-after", "3",
+            "--deadline-ms", "30000", "--stall-timeout-s", "30",
+            "--health",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retries" in out
+        assert "deadline_drops" in out
+        assert "watchdog_restarts" in out
+        assert "degraded_responses" in out
+        assert "health:" in out
+        assert "breaker_state" in out
+        assert "dispatcher_alive" in out
+
     def test_serve_batch_respects_limit(self, artifacts, capsys):
         root = str(artifacts["root"])
         main(["registry", "publish", "--root", root,

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.framework import Diagnosis
 from repro.serving.engine import BackpressureError, MicroBatcher
+from repro.serving.reliability import EngineClosedError, PredictionMismatchError
 from repro.serving.stats import ServiceStats
 
 
@@ -116,8 +117,69 @@ class TestBackpressure:
         assert all(f.done() for f in futures)
         assert sum(model.calls) == 9
 
+    def test_close_is_typed(self):
+        engine = MicroBatcher(CountingModel())
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.submit(object())
+
+
+class TestFlushWaitsForInflight:
+    def test_flush_blocks_while_a_dispatched_batch_is_scoring(self):
+        """Regression: flush must cover dispatched-but-unfinished requests.
+
+        The queue is empty the moment the dispatcher pops the batch, but
+        the request is still inside ``predict_fn`` — flush returning
+        there would let close() abandon it.
+        """
+        gate = threading.Event()
+        model = CountingModel(gate=gate)
+        engine = MicroBatcher(model, max_batch=4, max_linger_s=0.0)
+        try:
+            future = engine.submit(object())
+            assert model.started.wait(5.0)  # dispatched: queue is empty now
+            assert engine.queue_depth == 0
+            assert engine.pending == 1
+            with pytest.raises(TimeoutError, match="did not drain"):
+                engine.flush(timeout=0.2)
+            gate.set()
+            engine.flush(timeout=5.0)
+            assert future.done()
+            assert future.result().label == "healthy"
+        finally:
+            gate.set()
+            engine.close()
+
 
 class TestFailurePropagation:
+    def test_truncating_predict_fails_every_future(self):
+        """Regression: a short result list must not hang trailing futures."""
+        def truncating(runs):
+            return [Diagnosis(label="ok", confidence=1.0) for _ in runs[:-1]]
+
+        with MicroBatcher(truncating, max_batch=4, max_linger_s=0.01) as engine:
+            futures = [engine.submit(object()) for _ in range(4)]
+            for future in futures:
+                with pytest.raises(PredictionMismatchError, match="3 diagnoses"):
+                    future.result(timeout=5.0)
+
+    def test_overlong_predict_fails_every_future(self):
+        def padding(runs):
+            return [Diagnosis(label="ok", confidence=1.0)] * (len(runs) + 2)
+
+        with MicroBatcher(padding, max_batch=4, max_linger_s=0.01) as engine:
+            with pytest.raises(PredictionMismatchError):
+                engine.submit(object()).result(timeout=5.0)
+
+    def test_truncating_predict_raises_on_bulk_path(self):
+        def truncating(runs):
+            return [Diagnosis(label="ok", confidence=1.0) for _ in runs[:-1]]
+
+        with MicroBatcher(truncating, max_batch=4) as engine:
+            with pytest.raises(PredictionMismatchError):
+                engine.diagnose_many([object()] * 3)
+
+
     def test_scorer_exception_reaches_every_waiter(self):
         def boom(runs):
             raise ValueError("bad batch")

@@ -68,6 +68,26 @@ class TestResultCache:
             service.diagnose(run)
         assert service.stats.snapshot()["cache_hits"] == 0
 
+    def test_stats_parity_between_submit_and_bulk_paths(self, registry, corpus):
+        """Regression: request/cache-hit accounting must be path-independent."""
+        pool = corpus["pool"][:5]
+        repeats = pool[:2]
+        with DiagnosisService(registry, max_linger_s=0.01) as via_submit:
+            for run in pool:
+                via_submit.submit(run).result(timeout=5.0)
+            for run in repeats:  # now cached
+                via_submit.submit(run).result(timeout=5.0)
+            snap_submit = via_submit.stats.snapshot()
+        with DiagnosisService(registry, max_linger_s=0.01) as via_bulk:
+            via_bulk.diagnose_many(pool)
+            via_bulk.diagnose_many(repeats)
+            snap_bulk = via_bulk.stats.snapshot()
+        expected = len(pool) + len(repeats)
+        assert snap_submit["requests"] == snap_bulk["requests"] == expected
+        assert (
+            snap_submit["cache_hits"] == snap_bulk["cache_hits"] == len(repeats)
+        )
+
 
 class TestHotSwap:
     def test_swap_mid_stream_keeps_queued_requests(self, registry, trained, corpus):
