@@ -138,7 +138,7 @@ class MicroBatcher:
         self._restarts = 0
         self._heartbeat = time.monotonic()
         self._dispatcher: threading.Thread
-        self._start_dispatcher()
+        self._start_dispatcher(self._generation)
 
     # ------------------------------------------------------------------
     def submit(self, run: RunRecord, deadline_s: float | None = None) -> Future:
@@ -327,6 +327,7 @@ class MicroBatcher:
             if self._closed.is_set():
                 return 0
             self._generation += 1
+            generation = self._generation
             stale = [req for batch, _ in self._inflight.values() for req in batch]
             self._inflight.clear()
             self._restarts += 1
@@ -335,20 +336,27 @@ class MicroBatcher:
                 req, exception=DispatcherRestarted(f"dispatcher restarted: {reason}")
             )
         self.stats.record_watchdog_restart()
-        self._start_dispatcher()
+        self._start_dispatcher(generation)
         return len(stale)
 
     # ------------------------------------------------------------------
-    def _start_dispatcher(self) -> None:
-        with self._idle:
-            generation = self._generation
+    def _start_dispatcher(self, generation: int) -> None:
+        """Spawn a dispatcher for ``generation`` — iff it is still current.
+
+        Two concurrent restarts each bump the generation; only the spawn
+        matching the final generation may run, otherwise both threads
+        would pass the loop's generation check and share one queue.
+        """
         thread = threading.Thread(
             target=self._dispatch_loop,
             args=(generation,),
             name=f"repro-microbatcher-g{generation}",
             daemon=True,
         )
-        self._dispatcher = thread
+        with self._idle:
+            if generation != self._generation:
+                return  # a concurrent restart superseded this spawn
+            self._dispatcher = thread
         thread.start()
 
     def _current(self, generation: int) -> bool:
@@ -377,13 +385,25 @@ class MicroBatcher:
                 continue
             token = next(self._tokens)
             with self._idle:
-                if generation != self._generation:
-                    # superseded while coalescing: the restarted generation
-                    # owns the queue now; don't score on a zombie loop
-                    continue
-                self._inflight[token] = (live, time.monotonic())
+                superseded = generation != self._generation
+                if not superseded:
+                    self._inflight[token] = (live, time.monotonic())
+            if superseded:
+                # superseded while coalescing: these requests were dequeued
+                # but never registered in-flight, so the restart that bumped
+                # the generation could not fail them — resolve them here or
+                # their futures hang forever and flush() never drains
+                for req in live:
+                    self._resolve(
+                        req,
+                        exception=DispatcherRestarted(
+                            "dispatcher restarted while this request was "
+                            "being coalesced"
+                        ),
+                    )
+                continue
             try:
-                self._run_batch(live)
+                self._run_batch(live, token, generation)
             except BaseException:
                 # a bug escaped _run_batch; resolve the batch so no
                 # submitter hangs, then let the thread die — the watchdog
@@ -417,10 +437,31 @@ class MicroBatcher:
                 live.append(req)
         return live
 
-    def _run_batch(self, batch: list[_Request]) -> None:
+    def _touch_inflight(self, token: int) -> None:
+        """Refresh a batch's in-flight timestamp so the watchdog's stall
+        clock measures only the current attempt, not retry backoff."""
+        with self._idle:
+            entry = self._inflight.get(token)
+            if entry is not None:
+                self._inflight[token] = (entry[0], time.monotonic())
+
+    def _backoff(self, delay: float, token: int, generation: int) -> None:
+        """Sleep ``delay`` seconds in small slices, refreshing the in-flight
+        timestamp each slice (backoff must not read as a stall) and bailing
+        early when the engine closes or the dispatcher is superseded."""
+        end = time.monotonic() + delay
+        while not self._closed.is_set() and self._current(generation):
+            self._touch_inflight(token)
+            step = min(0.05, end - time.monotonic())
+            if step <= 0:
+                return
+            self._closed.wait(step)
+
+    def _run_batch(self, batch: list[_Request], token: int, generation: int) -> None:
         runs = [req.run for req in batch]
         attempt = 0
         while True:
+            self._touch_inflight(token)  # stall clock restarts per attempt
             t0 = time.perf_counter()
             try:
                 diagnoses = self.predict_fn(runs)
@@ -432,13 +473,19 @@ class MicroBatcher:
                     and attempt < policy.max_retries
                     and policy.retryable(exc)
                     and not self._closed.is_set()
+                    # a superseded thread must not keep retrying: its futures
+                    # were already failed by the restart, and a wedge-prone
+                    # predict_fn would score concurrently with the new
+                    # dispatcher's
+                    and self._current(generation)
                 ):
                     self.stats.record_retry()
                     delay = policy.delay(attempt)
                     attempt += 1
                     if delay > 0:
-                        self._closed.wait(delay)  # interruptible backoff
-                    continue
+                        self._backoff(delay, token, generation)
+                    if self._current(generation) and not self._closed.is_set():
+                        continue
                 for req in batch:  # propagate to every waiter, keep serving
                     self._resolve(req, exception=exc)
                 return

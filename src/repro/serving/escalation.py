@@ -66,6 +66,7 @@ class EscalationQueue:
         self.controller = controller or ThresholdController()
         self._items: deque[EscalationItem] = deque(maxlen=maxlen)
         self.n_dropped = 0
+        self.n_refused = 0
         # offer() runs on the engine's dispatcher thread while drain() runs
         # on whatever control thread owns the annotator; the controller
         # mutates on every offer, so the whole decision must be atomic
@@ -87,6 +88,32 @@ class EscalationQueue:
                     diagnosis=diagnosis,
                     uncertainty=uncertainty,
                     threshold=threshold_used,
+                )
+            )
+        return True
+
+    def offer_forced(self, run: RunRecord, diagnosis: Diagnosis) -> bool:
+        """Enqueue without consulting (or tuning) the adaptive controller.
+
+        The degraded-mode path: fallback verdicts carry a synthetic
+        confidence of 0.0, so feeding them through :meth:`offer` during a
+        breaker-open storm would skew the self-tuning threshold toward the
+        outage and evict genuine low-confidence items from the bounded
+        queue. Forced offers leave the controller untouched and are
+        *refused* (counted in ``n_refused``) when the queue is full,
+        instead of evicting.
+        """
+        uncertainty = 1.0 - diagnosis.confidence
+        with self._lock:
+            if len(self._items) == self._items.maxlen:
+                self.n_refused += 1
+                return False
+            self._items.append(
+                EscalationItem(
+                    run=run,
+                    diagnosis=diagnosis,
+                    uncertainty=uncertainty,
+                    threshold=self.controller.threshold,
                 )
             )
         return True

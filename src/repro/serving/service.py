@@ -335,10 +335,20 @@ class DiagnosisService:
         return diagnoses
 
     def _degraded_batch(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
-        """Flagged fallback verdicts: never cached, always escalated."""
+        """Flagged fallback verdicts: never cached, escalated out-of-band.
+
+        Fallbacks carry a synthetic confidence of 0.0; routing them through
+        the adaptive :meth:`EscalationQueue.offer` would let a breaker-open
+        storm tune the active-learning threshold to the outage and evict
+        genuine low-confidence items, so they take the forced path that
+        bypasses the controller and never evicts.
+        """
         diagnoses = [fallback_diagnosis() for _ in runs]
         self.stats.record_degraded(len(runs))
-        self._offer_escalation(runs, diagnoses)
+        if self.escalation is not None:
+            for run, diagnosis in zip(runs, diagnoses):
+                if self.escalation.offer_forced(run, diagnosis):
+                    self.stats.record_escalation()
         return diagnoses
 
     def _offer_escalation(

@@ -270,6 +270,121 @@ class TestWatchdog:
         engine.close()
         assert DispatcherWatchdog(engine).check() is False
 
+    def test_retry_backoff_does_not_trip_the_stall_watchdog(self):
+        """Backoff sleeps refresh the stall clock: a legitimately retrying
+        batch must not be failed as stuck just because its cumulative
+        backoff exceeds the stall timeout."""
+        inj = FaultInjector(FaultPlan.script(["raise"]))
+        engine = MicroBatcher(
+            inj.wrap(ok_predict),
+            max_batch=1,
+            max_linger_s=0.0,
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.5, jitter=0.0),
+        )
+        watchdog = DispatcherWatchdog(engine, stall_timeout_s=0.2)
+        try:
+            future = engine.submit(object())
+            # poll through most of the 0.5s backoff window — far longer
+            # than the stall timeout — and the watchdog must stay quiet
+            deadline = time.monotonic() + 0.4
+            while time.monotonic() < deadline:
+                assert watchdog.check() is False
+                time.sleep(0.02)
+            assert future.result(timeout=5.0).label == "healthy"
+            assert engine.restarts == 0
+            assert engine.stats.snapshot()["watchdog_restarts"] == 0
+        finally:
+            engine.close()
+
+
+class TestRestartRaces:
+    def test_restart_while_coalescing_resolves_dequeued_requests(self):
+        """A restart committing between queue.get and in-flight
+        registration must not strand the dequeued requests: they are in
+        neither the queue nor the in-flight table, so nothing else can
+        ever reach them."""
+        engine = MicroBatcher(ok_predict, max_batch=1, max_linger_s=0.0)
+        orig_drop = engine._drop_expired
+        fired = threading.Event()
+
+        def restart_then_drop(batch):
+            # simulate the race: the restart lands after the dispatcher
+            # dequeued the batch but before it registered it in flight
+            if not fired.is_set():
+                fired.set()
+                engine.restart_dispatcher("test: restart while coalescing")
+            return orig_drop(batch)
+
+        engine._drop_expired = restart_then_drop
+        try:
+            future = engine.submit(object())
+            with pytest.raises(DispatcherRestarted):
+                future.result(timeout=5.0)
+            engine.flush(timeout=5.0)  # the pending ledger fully drains
+            assert engine.pending == 0
+            # the restarted generation keeps serving
+            assert engine.submit(object()).result(timeout=5.0).label == "healthy"
+        finally:
+            engine.close()
+
+    def test_superseded_dispatcher_stops_retrying(self):
+        """After a restart fails the batch, the zombie thread must stop
+        its retry loop instead of scoring concurrently with the new
+        dispatcher against already-resolved futures."""
+        inj = FaultInjector(FaultPlan.script(["raise:100"]))
+        engine = MicroBatcher(
+            inj.wrap(ok_predict),
+            max_batch=1,
+            max_linger_s=0.0,
+            retry=RetryPolicy(max_retries=50, base_delay_s=0.2, jitter=0.0),
+        )
+        try:
+            future = engine.submit(object())
+            assert wait_until(lambda: len(inj.log) >= 1)  # inside backoff now
+            engine.restart_dispatcher("test: supersede mid-retry")
+            with pytest.raises(DispatcherRestarted):
+                future.result(timeout=5.0)
+            calls_at_restart = len(inj.log)
+            time.sleep(0.7)  # several would-be backoff periods
+            # at most one attempt already in flight when the restart landed
+            assert len(inj.log) <= calls_at_restart + 1
+        finally:
+            engine.close()
+
+    def test_concurrent_restarts_leave_exactly_one_dispatcher(self):
+        def alive_dispatchers():
+            return sum(
+                1
+                for t in threading.enumerate()
+                if t.name.startswith("repro-microbatcher") and t.is_alive()
+            )
+
+        engine = MicroBatcher(ok_predict, max_batch=4, max_linger_s=0.0)
+        try:
+            assert wait_until(lambda: engine.dispatcher_alive)
+            baseline = alive_dispatchers()
+            n = 4
+            barrier = threading.Barrier(n)
+
+            def restart():
+                barrier.wait()
+                engine.restart_dispatcher("test: concurrent restart")
+
+            threads = [threading.Thread(target=restart) for _ in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            # superseded spawns exit on their first generation check;
+            # without generation-scoped spawning every racer's thread
+            # reads the final generation and all stay current forever
+            assert wait_until(lambda: alive_dispatchers() <= baseline)
+            assert engine.dispatcher_alive
+            assert engine.restarts == n
+            assert engine.submit(object()).result(timeout=5.0).label == "healthy"
+        finally:
+            engine.close()
+
 
 class TestCloseSemantics:
     def test_close_fails_pending_futures_past_the_drain_deadline(self):
@@ -298,6 +413,32 @@ class TestNaNConfidence:
         # NaN uncertainty never clears the threshold, and never crashes
         assert queue.offer(object(), diagnosis) is False
         assert len(queue) == 0
+
+
+class TestForcedEscalation:
+    def test_offer_forced_bypasses_the_adaptive_controller(self):
+        queue = EscalationQueue(maxlen=8)
+        degraded = Diagnosis(label=FALLBACK_LABEL, confidence=0.0)
+        threshold_before = queue.controller.threshold
+        for _ in range(5):
+            assert queue.offer_forced(object(), degraded) is True
+        # forced offers neither consult nor tune the controller
+        assert queue.controller.threshold == threshold_before
+        assert queue.controller.n_seen == 0
+        assert len(queue) == 5
+
+    def test_offer_forced_refuses_at_capacity_instead_of_evicting(self):
+        queue = EscalationQueue(maxlen=2)
+        genuine = Diagnosis(label="unknown", confidence=0.0)
+        seeded = [object(), object()]
+        for run in seeded:
+            assert queue.offer(run, genuine) is True
+        degraded = Diagnosis(label=FALLBACK_LABEL, confidence=0.0)
+        assert queue.offer_forced(object(), degraded) is False
+        assert queue.n_refused == 1
+        assert queue.n_dropped == 0
+        # the genuine low-confidence items survived the storm
+        assert [item.run for item in queue.drain()] == seeded
 
 
 class TestEscalationThreadSafety:
@@ -393,6 +534,43 @@ class TestServiceDegradedMode:
             assert not is_fallback(recovered)
             assert breaker.state == "closed"
             assert service.ready() is True
+        finally:
+            service.stop()
+
+    def test_degraded_storm_does_not_skew_escalation_controller(
+        self, registry, corpus
+    ):
+        """A breaker-open storm must not tune the active-learning
+        threshold toward the outage or evict genuine escalations."""
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout_s=1e9)
+        escalation = EscalationQueue(maxlen=4)
+        pool = corpus["pool"]
+        service = DiagnosisService(
+            registry,
+            max_linger_s=0.0,
+            cache_size=0,
+            breaker=breaker,
+            escalation=escalation,
+        ).start()
+        try:
+            genuine = Diagnosis(label="unknown", confidence=0.0)
+            seeded = [object(), object()]
+            for run in seeded:
+                assert escalation.offer(run, genuine)
+            threshold_before = escalation.controller.threshold
+            n_seen_before = escalation.controller.n_seen
+            service._framework = _DownFramework()
+            for run in pool[:5]:  # threshold=1: every call degrades
+                assert is_fallback(service.diagnose(run))
+            assert escalation.controller.threshold == threshold_before
+            assert escalation.controller.n_seen == n_seen_before
+            # maxlen 4: two degraded fit, three refused, none evicted
+            assert escalation.n_dropped == 0
+            assert escalation.n_refused == 3
+            drained_runs = [item.run for item in escalation.drain()]
+            for run in seeded:
+                assert run in drained_runs
+            assert service.stats.snapshot()["degraded_responses"] == 5
         finally:
             service.stop()
 
