@@ -40,6 +40,15 @@ class ActiveLearner:
         :func:`repro.mlcore.base.clone`; Proctor passes
         :func:`repro.active.baselines.clone_with_representation` so the
         pretrained autoencoder survives refits.
+    binner:
+        Optional fitted :class:`repro.mlcore.binning.Binner`. When given,
+        the learner keeps a bin-code row alongside every labeled sample
+        and refits via the estimator's ``fit_binned`` — re-training on a
+        grown labeled set then costs a row-stack of cached codes instead
+        of a fresh quantization (the cross-refit bin cache).
+    initial_codes:
+        Pre-binned codes for ``X_initial`` (skips one ``transform`` when
+        the caller binned seed and pool together).
     """
 
     def __init__(
@@ -51,6 +60,8 @@ class ActiveLearner:
         refit_every: int = 1,
         random_state: int | np.random.Generator | None = None,
         clone_fn: Callable[[BaseEstimator], BaseEstimator] = clone,
+        binner=None,
+        initial_codes: np.ndarray | None = None,
     ):
         if refit_every < 1:
             raise ValueError(f"refit_every must be >= 1, got {refit_every}")
@@ -66,9 +77,31 @@ class ActiveLearner:
         self.refit_every = refit_every
         self._X = [row for row in X_initial]
         self._y = list(y_initial)
+        self._binner = binner
+        self._codes: list[np.ndarray] | None = None
+        if binner is not None:
+            if not hasattr(estimator, "fit_binned"):
+                raise TypeError(
+                    f"{type(estimator).__name__} has no fit_binned; "
+                    "the bin cache needs a binned-training estimator"
+                )
+            if initial_codes is None:
+                initial_codes = binner.transform(X_initial)
+            self._codes = [row for row in np.asarray(initial_codes)]
         self._pending = 0
         self.model = clone_fn(estimator)
-        self.model.fit(self.X_labeled, self.y_labeled)
+        self._fit_model()
+
+    def _fit_model(self) -> None:
+        if self._binner is not None:
+            from ..mlcore.binning import BinnedDataset
+
+            self.model.fit_binned(
+                BinnedDataset(np.vstack(self._codes), self._binner),
+                self.y_labeled,
+            )
+        else:
+            self.model.fit(self.X_labeled, self.y_labeled)
 
     # ------------------------------------------------------------------
     @property
@@ -92,8 +125,16 @@ class ActiveLearner:
             raise ValueError("cannot query an empty pool")
         return self._strategy(self.model, X_pool, self._rng)
 
-    def teach(self, x: np.ndarray, y: object) -> "ActiveLearner":
-        """Add one labeled sample and re-train (respecting ``refit_every``)."""
+    def teach(
+        self, x: np.ndarray, y: object, codes: np.ndarray | None = None
+    ) -> "ActiveLearner":
+        """Add one labeled sample and re-train (respecting ``refit_every``).
+
+        ``codes`` is the sample's pre-binned row when the caller already
+        holds it (the AL loop bins the whole pool up front); without it a
+        cache-enabled learner bins the single new row — still O(log bins)
+        per feature, never a re-quantization of the labeled set.
+        """
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.shape[0] != self._X[0].shape[0]:
             raise ValueError(
@@ -101,6 +142,10 @@ class ActiveLearner:
             )
         self._X.append(x)
         self._y.append(y)
+        if self._codes is not None:
+            if codes is None:
+                codes = self._binner.transform(x[None, :])[0]
+            self._codes.append(np.asarray(codes, dtype=np.uint8).ravel())
         self._pending += 1
         if self._pending >= self.refit_every:
             self._refit()
@@ -108,7 +153,7 @@ class ActiveLearner:
 
     def _refit(self) -> None:
         self.model = self._clone_fn(self._prototype)
-        self.model.fit(self.X_labeled, self.y_labeled)
+        self._fit_model()
         self._pending = 0
 
     def flush(self) -> None:

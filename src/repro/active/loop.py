@@ -86,6 +86,7 @@ def run_active_learning(
     healthy_label: object = HEALTHY_LABEL,
     eval_every: int = 1,
     oracle_noise: float = 0.0,
+    bin_cache: bool | str = "auto",
     random_state: int | np.random.Generator | None = None,
 ) -> ALResult:
     """Run one full query→label→re-train→evaluate experiment.
@@ -110,6 +111,13 @@ def run_active_learning(
     eval_every:
         Evaluate metrics every k-th query (curves stay aligned via
         ``n_labeled``); 1 reproduces the paper's per-query curves.
+    bin_cache:
+        Cross-refit bin cache. ``"auto"`` (default) activates for
+        estimators that train from bin codes (a ``splitter="hist"``
+        forest): seed + pool are quantile-binned **once** up front, every
+        refit row-stacks cached codes, and each queried sample's codes
+        are looked up instead of recomputed. ``True`` forces it (raises
+        if the estimator has no ``fit_binned``), ``False`` disables.
 
     Returns
     -------
@@ -138,6 +146,30 @@ def run_active_learning(
         estimator.fit_unlabeled(X_pool)
         clone_fn = clone_with_representation
 
+    if bin_cache not in (True, False, "auto"):
+        raise ValueError(f"bin_cache must be True/False/'auto', got {bin_cache!r}")
+    use_cache = bin_cache is True or (
+        bin_cache == "auto"
+        and getattr(estimator, "splitter", None) == "hist"
+        and hasattr(estimator, "fit_binned")
+    )
+    if bin_cache is True and not hasattr(estimator, "fit_binned"):
+        raise TypeError(
+            f"bin_cache=True needs an estimator with fit_binned; "
+            f"{type(estimator).__name__} has none"
+        )
+    binner = seed_codes = pool_codes = None
+    if use_cache:
+        from ..mlcore.binning import DEFAULT_MAX_BINS, Binner
+
+        X_seed = np.asarray(X_seed, dtype=np.float64)
+        # bin seed + pool together so every sample the loop can ever teach
+        # already has its code row — refits never re-quantize anything
+        binner = Binner(getattr(estimator, "max_bins", DEFAULT_MAX_BINS))
+        codes_all = binner.fit_transform(np.vstack([X_seed, X_pool]))
+        seed_codes = codes_all[: len(X_seed)]
+        pool_codes = codes_all[len(X_seed) :]
+
     learner = ActiveLearner(
         estimator,
         strategy,
@@ -145,6 +177,8 @@ def run_active_learning(
         y_seed,
         random_state=rng,
         clone_fn=clone_fn,
+        binner=binner,
+        initial_codes=seed_codes,
     )
 
     def evaluate() -> tuple[float, float, float]:
@@ -178,7 +212,11 @@ def run_active_learning(
         queried_labels.append(label)
         if pool_apps is not None:
             queried_apps.append(str(np.asarray(pool_apps)[orig_idx]))
-        learner.teach(X_pool[orig_idx], label)
+        learner.teach(
+            X_pool[orig_idx],
+            label,
+            codes=None if pool_codes is None else pool_codes[orig_idx],
+        )
         alive = np.delete(alive, local_idx)
         if equal_app is not None:
             equal_app.remove(local_idx)

@@ -56,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="uncertainty")
     p.add_argument("--max-queries", type=int, default=50)
     p.add_argument("--target-f1", type=float, default=None)
+    p.add_argument("--splitter", choices=("exact", "hist"), default="exact",
+                   help="tree split search: exact (reference) or hist "
+                        "(histogram-binned, much faster)")
+    p.add_argument("--n-jobs", type=int, default=1,
+                   help="worker processes for forest fitting (1 = serial)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=Path, required=True)
 
@@ -166,6 +171,8 @@ def _cmd_train(args) -> int:
             query_strategy=args.strategy,
             max_queries=args.max_queries,
             target_f1=args.target_f1,
+            splitter=args.splitter,
+            n_jobs=args.n_jobs,
             random_state=args.seed,
         ),
     )

@@ -64,6 +64,14 @@ class FrameworkConfig:
     target_f1:
         Optional second stopping rule: stop as soon as this test/validation
         F1 is reached.
+    splitter:
+        Tree split search for the tree-based families: ``"exact"``
+        (default, the paper-faithful reference path) or ``"hist"``
+        (histogram-binned, much faster; see ``docs/mlcore.md``). Ignored
+        by non-tree models.
+    n_jobs:
+        Worker processes for forest fitting (``random_forest`` only);
+        1 = serial, the default.
     random_state:
         Seed threaded through every stochastic component.
     """
@@ -75,6 +83,8 @@ class FrameworkConfig:
     query_strategy: str = "uncertainty"
     max_queries: int = 250
     target_f1: float | None = None
+    splitter: str = "exact"
+    n_jobs: int = 1
     random_state: int = 0
 
     def __post_init__(self) -> None:
@@ -90,9 +100,22 @@ class FrameworkConfig:
             raise ValueError(f"max_queries must be >= 0, got {self.max_queries}")
         if self.target_f1 is not None and not 0.0 < self.target_f1 <= 1.0:
             raise ValueError(f"target_f1 must be in (0, 1], got {self.target_f1}")
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(f"splitter must be 'exact' or 'hist', got {self.splitter!r}")
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
 
     def resolved_model_params(self) -> dict[str, Any]:
-        """Model parameters with Table IV defaults filled in."""
+        """Model parameters with Table IV defaults filled in.
+
+        The ``splitter`` / ``n_jobs`` performance knobs are injected for
+        the model families that understand them; an explicit entry in
+        ``model_params`` always wins.
+        """
         params = default_model_params(self.model)
         params.update(self.model_params)
+        if self.model in ("random_forest", "lgbm"):
+            params.setdefault("splitter", self.splitter)
+        if self.model == "random_forest":
+            params.setdefault("n_jobs", self.n_jobs)
         return params

@@ -15,10 +15,12 @@ from .cache import get_or_build, load_dataset, save_dataset
 from .configs import (
     CACHE_DIR,
     K_FEATURES,
+    N_JOBS,
     N_QUERIES,
     N_SPLITS,
     OUT_DIR,
     RF_PARAMS,
+    SPLITTER,
     bench_dataset,
     bench_eclipse_config,
     bench_volta_config,
@@ -48,6 +50,7 @@ __all__ = [
     "CurveStats",
     "ExperimentResult",
     "K_FEATURES",
+    "N_JOBS",
     "N_QUERIES",
     "N_SPLITS",
     "OUT_DIR",
@@ -57,6 +60,7 @@ __all__ = [
     "per_class_report",
     "query_efficiency",
     "RF_PARAMS",
+    "SPLITTER",
     "STRATEGY_METHODS",
     "aggregate",
     "bench_dataset",

@@ -27,6 +27,8 @@ __all__ = [
     "N_QUERIES",
     "K_FEATURES",
     "RF_PARAMS",
+    "SPLITTER",
+    "N_JOBS",
 ]
 
 # repository-level artifact locations
@@ -39,6 +41,12 @@ N_SPLITS = 3  # paper: 5 repeated train/test splits
 N_QUERIES = 120  # paper: up to 1000 queries, plots show 250
 K_FEATURES = 300  # paper: 2000 of ~6k-99k features
 RF_PARAMS = {"n_estimators": 16, "max_depth": 8, "criterion": "entropy"}
+
+# tree-training performance knobs; the paper-faithful reference settings.
+# Benches that only care about wall clock may flip SPLITTER to "hist"
+# (histogram-binned split search) — results change only within quantization.
+SPLITTER = "exact"
+N_JOBS = 1
 
 
 def bench_volta_config() -> SystemConfig:

@@ -8,12 +8,13 @@ stratified splitting / K-fold CV / grid search, and the paper's metrics
 """
 
 from .autoencoder import Autoencoder
+from .base import BaseEstimator, ClassifierMixin, clone
+from .binning import BinnedDataset, Binner
 from .calibration import (
     TemperatureScaler,
     expected_calibration_error,
     reliability_curve,
 )
-from .base import BaseEstimator, ClassifierMixin, clone
 from .dummy import MajorityClassifier, StratifiedRandomClassifier
 from .feature_selection import SelectKBest, chi2_scores
 from .forest import RandomForestClassifier
@@ -46,6 +47,8 @@ from .tree import DecisionTreeClassifier
 __all__ = [
     "Autoencoder",
     "BaseEstimator",
+    "BinnedDataset",
+    "Binner",
     "ClassifierMixin",
     "DecisionTreeClassifier",
     "GridSearchCV",

@@ -6,12 +6,29 @@ Figs. 3–8) with the Table IV grid: ``n_estimators`` ∈ {8, 10, 20, 100, 200},
 Probability estimates (the average of per-tree leaf class frequencies) feed
 the active-learning query strategies directly, so calibration-by-averaging
 matters more here than in a plain accuracy setting.
+
+Performance model: the active-learning loop refits a forest after every
+query, so this class is the repo's hot path. Three levers, all opt-in:
+
+* ``splitter="hist"`` bins the matrix once (:class:`repro.mlcore.binning`)
+  and grows every tree from shared ``uint8`` codes — split search becomes
+  an O(n) histogram per node instead of an argsort per (node, feature),
+  and bootstrap resamples are index views, never matrix copies.
+* :meth:`fit_binned` accepts a pre-binned :class:`BinnedDataset`, letting
+  callers (the AL loop) pay the binning cost once across many refits.
+* ``n_jobs`` fans tree fitting across processes via
+  :class:`repro.parallel.Executor`.
+
+Every tree derives its own RNG stream from a seed drawn up front from the
+root generator, so seeded fits are bit-identical at any ``n_jobs`` and for
+either dispatch order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.executor import Executor
 from .base import (
     BaseEstimator,
     ClassifierMixin,
@@ -19,9 +36,57 @@ from .base import (
     check_random_state,
     check_X_y,
 )
-from .tree import DecisionTreeClassifier
+from .binning import BinnedDataset, Binner
+from .tree import _LEAF, DecisionTreeClassifier
 
-__all__ = ["RandomForestClassifier"]
+__all__ = ["RandomForestClassifier", "DEFAULT_FOREST_BINS"]
+
+# Forests average many shallow-ish trees, so per-tree threshold resolution
+# matters less than for a single tree: 64 bins measures indistinguishable
+# from 256 on the bench corpora while halving split-search work. Single
+# trees and the GBM keep the finer 256-bin default.
+DEFAULT_FOREST_BINS = 64
+
+
+def _bootstrap_indices(
+    rng: np.random.Generator, codes: np.ndarray, n_classes: int, n: int
+) -> np.ndarray:
+    """One bootstrap resample, retried a bounded number of times so every
+    class stays represented (preserves per-class probability mass)."""
+    idx = rng.integers(0, n, size=n)
+    for _retry in range(8):
+        if len(np.unique(codes[idx])) == n_classes:
+            break
+        idx = rng.integers(0, n, size=n)
+    return idx
+
+
+def _fit_tree_chunk(args: tuple) -> list[DecisionTreeClassifier]:
+    """Fit a batch of trees; module-level so process pools can pickle it.
+
+    Each tree consumes only its own seed, so the result is independent of
+    how seeds are grouped into chunks or which worker runs them.
+    """
+    tree_params, codes_mat, edges, X, y, n_classes, bootstrap, seeds, codes_T = args
+    n = len(y)
+    if codes_T is None and codes_mat is not None:
+        # one feature-major copy shared by every tree in the chunk
+        codes_T = np.ascontiguousarray(codes_mat.T)
+    trees = []
+    for seed in seeds:
+        rng = np.random.default_rng(int(seed))
+        idx = _bootstrap_indices(rng, y, n_classes, n) if bootstrap else None
+        tree = DecisionTreeClassifier(**tree_params, random_state=rng)
+        if codes_mat is not None:
+            tree._fit_binned(
+                codes_mat, edges, y, sample_indices=idx, codes_T=codes_T
+            )
+        elif idx is not None:
+            tree.fit(X[idx], y[idx])
+        else:
+            tree.fit(X, y)
+        trees.append(tree)
+    return trees
 
 
 class RandomForestClassifier(BaseEstimator, ClassifierMixin):
@@ -34,6 +99,19 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     ``predict_proba`` averages per-tree leaf class frequencies; classes that
     a bootstrap never saw contribute zero probability from that tree, which
     is the same behaviour scikit-learn exhibits via its shared class list.
+
+    Parameters beyond the paper grid
+    --------------------------------
+    splitter:
+        ``"exact"`` (default) searches raw feature values; ``"hist"``
+        quantile-bins the matrix once and searches bin histograms —
+        much faster, thresholds land on bin edges instead of exact
+        midpoints (see ``docs/mlcore.md``).
+    max_bins:
+        Bins per feature for the hist splitter (ignored for exact).
+    n_jobs:
+        Worker processes for tree fitting; ``1`` fits serially in-process.
+        Seeded results are identical for every setting.
     """
 
     def __init__(
@@ -45,6 +123,9 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = "sqrt",
         bootstrap: bool = True,
+        splitter: str = "exact",
+        max_bins: int = DEFAULT_FOREST_BINS,
+        n_jobs: int | None = 1,
         random_state: int | np.random.Generator | None = None,
     ):
         self.n_estimators = n_estimators
@@ -54,55 +135,157 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.splitter = splitter
+        self.max_bins = max_bins
+        self.n_jobs = n_jobs
         self.random_state = random_state
+
+    # ------------------------------------------------------------------ fit
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit ``n_estimators`` trees on bootstrap resamples of ``(X, y)``."""
         if self.n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(
+                f"splitter must be 'exact' or 'hist', got {self.splitter!r}"
+            )
         X, y = check_X_y(X, y)
+        if self.splitter == "hist":
+            return self.fit_binned(Binner(self.max_bins).fit_dataset(X), y)
+        return self._fit_forest(X, None, None, y)
+
+    def fit_binned(
+        self, binned: BinnedDataset, y: np.ndarray
+    ) -> "RandomForestClassifier":
+        """Fit from a pre-binned dataset (the cross-refit fast path).
+
+        The active-learning loop bins the pool once and hands each refit a
+        row subset of the same :class:`BinnedDataset`; no quantization or
+        matrix copy happens here.
+        """
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        if self.splitter != "hist":
+            raise ValueError(
+                "fit_binned requires splitter='hist' "
+                f"(got splitter={self.splitter!r})"
+            )
+        y = np.asarray(y)
+        if len(y) != binned.n_samples:
+            raise ValueError(
+                f"binned has {binned.n_samples} samples but y has {len(y)}"
+            )
+        self.binned_dataset_ = binned
+        return self._fit_forest(
+            None, binned.codes, binned.bin_edges_, y, binned.codes_T
+        )
+
+    def _fit_forest(
+        self,
+        X: np.ndarray | None,
+        codes_mat: np.ndarray | None,
+        edges: list[np.ndarray] | None,
+        y: np.ndarray,
+        codes_T: np.ndarray | None = None,
+    ) -> "RandomForestClassifier":
         rng = check_random_state(self.random_state)
         self.classes_ = np.unique(y)
-        self.n_features_in_ = X.shape[1]
-        n = X.shape[0]
-        self.estimators_: list[DecisionTreeClassifier] = []
-        self._tree_class_maps: list[np.ndarray] = []
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                idx = rng.integers(0, n, size=n)
-                # A bootstrap may miss a class entirely; keep resampling a
-                # bounded number of times to preserve per-class probability
-                # mass, falling back to the raw resample if unlucky.
-                for _retry in range(8):
-                    if len(np.unique(y[idx])) == len(self.classes_):
-                        break
-                    idx = rng.integers(0, n, size=n)
-            else:
-                idx = np.arange(n)
-            tree = DecisionTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=rng,
-            )
-            tree.fit(X[idx], y[idx])
-            self.estimators_.append(tree)
-            # map tree-local class columns into the forest-wide class list
-            self._tree_class_maps.append(
-                np.searchsorted(self.classes_, tree.classes_)
-            )
+        self.n_features_in_ = (X if X is not None else codes_mat).shape[1]
+        # one seed per tree, drawn up front: fits are reproducible at any
+        # worker count and independent of chunk boundaries
+        seeds = rng.integers(0, 2**63, size=self.n_estimators)
+        tree_params = dict(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            splitter=self.splitter,
+            max_bins=self.max_bins,
+        )
+        n_jobs = 1 if self.n_jobs is None else max(1, self.n_jobs)
+        n_chunks = min(n_jobs, self.n_estimators)
+        jobs = [
+            (tree_params, codes_mat, edges, X, y, len(self.classes_),
+             self.bootstrap, chunk, codes_T if n_jobs <= 1 else None)
+            for chunk in np.array_split(seeds, n_chunks)
+            if len(chunk)
+        ]
+        if n_jobs <= 1:
+            results = [_fit_tree_chunk(job) for job in jobs]
+        else:
+            with Executor(n_workers=n_jobs, chunks_per_worker=1) as ex:
+                results = ex.map(_fit_tree_chunk, jobs)
+        self.estimators_ = [tree for chunk in results for tree in chunk]
+        # map tree-local class columns into the forest-wide class list
+        self._tree_class_maps = [
+            np.searchsorted(self.classes_, tree.classes_)
+            for tree in self.estimators_
+        ]
+        self._stack_trees()
         return self
 
+    # ------------------------------------------------------- stacked predict
+
+    def _stack_trees(self) -> None:
+        """Concatenate per-tree node arrays into forest-wide flat arrays.
+
+        Child pointers become global node ids; leaves point at themselves
+        so the descent loop needs no per-level masking; per-tree leaf
+        distributions are scattered into forest-wide class columns so
+        prediction is one gather + one sum.
+        """
+        trees = self.estimators_
+        counts = np.array([t.node_count_ for t in trees])
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        total = int(counts.sum())
+        self._stk_roots = offsets
+        self._stk_feature = np.concatenate([t.tree_feature_ for t in trees])
+        self._stk_threshold = np.concatenate([t.tree_threshold_ for t in trees])
+        left = np.empty(total, dtype=np.int64)
+        right = np.empty(total, dtype=np.int64)
+        value = np.zeros((total, len(self.classes_)), dtype=np.float64)
+        for t, cmap, off in zip(trees, self._tree_class_maps, offsets):
+            local = np.arange(t.node_count_)
+            leaf = t.tree_feature_ == _LEAF
+            left[off : off + t.node_count_] = (
+                np.where(leaf, local, t.tree_left_) + off
+            )
+            right[off : off + t.node_count_] = (
+                np.where(leaf, local, t.tree_right_) + off
+            )
+            value[off : off + t.node_count_][:, cmap] = t.tree_value_
+        self._stk_left = left
+        self._stk_right = right
+        self._stk_value = value
+        self._stk_importances = np.stack(
+            [t.feature_importances_ for t in trees]
+        )
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Average of per-tree class-frequency estimates over ``classes_``."""
+        """Average of per-tree class-frequency estimates over ``classes_``.
+
+        All trees descend simultaneously: ``node`` holds an ``(n_rows,
+        n_trees)`` frontier of global node ids, advanced one level per
+        iteration; finished rows sit on self-looping leaves.
+        """
         X = check_array(X)
-        acc = np.zeros((X.shape[0], len(self.classes_)), dtype=np.float64)
-        for tree, cmap in zip(self.estimators_, self._tree_class_maps):
-            acc[:, cmap] += tree.predict_proba(X)
-        acc /= len(self.estimators_)
-        return acc
+        rows = np.arange(X.shape[0])[:, None]
+        node = np.broadcast_to(
+            self._stk_roots, (X.shape[0], len(self.estimators_))
+        ).copy()
+        while True:
+            feats = self._stk_feature[node]
+            if not (feats != _LEAF).any():
+                break
+            xv = X[rows, np.maximum(feats, 0)]
+            node = np.where(
+                xv <= self._stk_threshold[node],
+                self._stk_left[node],
+                self._stk_right[node],
+            )
+        return self._stk_value[node].sum(axis=1) / len(self.estimators_)
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -112,7 +295,4 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         to tell annotators which *features* (hence metrics) drive the
         model, complementing the per-run metric deviations.
         """
-        acc = np.zeros(self.n_features_in_)
-        for tree in self.estimators_:
-            acc += tree.feature_importances_
-        return acc / len(self.estimators_)
+        return self._stk_importances.mean(axis=0)

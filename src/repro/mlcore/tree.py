@@ -9,9 +9,14 @@ needs (``max_features`` feature subsampling, ``min_samples_leaf``).
 Implementation notes (per the hpc-parallel guides: vectorize the hot path,
 profile-driven):
 
-* Split search is fully vectorized per (node, feature): one argsort, one
-  one-hot cumulative sum, and an impurity evaluation over *all* candidate
-  thresholds at once — no per-threshold Python loop.
+* Two splitters share one growth loop. ``splitter="exact"`` is fully
+  vectorized per (node, feature): one argsort, one one-hot cumulative sum,
+  and an impurity evaluation over *all* candidate thresholds at once.
+  ``splitter="hist"`` quantile-bins the matrix once (``repro.mlcore.binning``)
+  and replaces the per-node argsort with a single O(n) bincount over
+  (feature, bin, class) cells — the LightGBM trick that makes repeated
+  refits cheap; thresholds are emitted as real bin-edge values so a
+  hist-trained tree predicts on raw matrices.
 * The tree is stored in flat parallel arrays (``feature``, ``threshold``,
   ``left``, ``right``, ``value``) so prediction is an iterative array walk
   rather than recursive object traversal.
@@ -31,6 +36,7 @@ from .base import (
     check_X_y,
     encode_labels,
 )
+from .binning import DEFAULT_MAX_BINS, BinnedDataset, Binner
 
 __all__ = ["DecisionTreeClassifier"]
 
@@ -74,20 +80,25 @@ def _impurity(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndar
     return -np.sum(p * logp, axis=1)
 
 
-def _impurity_3d(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndarray:
-    """Impurity over a (n_cuts, n_features, n_classes) count tensor.
+def _mass_impurity(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndarray:
+    """``totals * impurity(counts)`` without forming probability tensors.
 
-    ``totals`` broadcasts as (n_cuts, 1); returns (n_cuts, n_features).
-    The vectorized split search evaluates every (cut, feature) cell at once.
+    ``counts`` is ``(..., k)`` class counts, ``totals`` the matching
+    ``(...)`` row sums (zeros allowed — empty partitions score 0). The
+    algebra folds the normalization into the count tensors, which halves
+    the number of full-tensor passes in the split-search hot loop:
+
+    * gini:    n·(1 − Σp²)      = n − Σc²/n
+    * entropy: n·(−Σp·log2 p)  = n·log2 n − Σc·log2 c
     """
     with np.errstate(invalid="ignore", divide="ignore"):
-        p = counts / totals[:, :, None]
-    p = np.nan_to_num(p)
-    if criterion == "gini":
-        return 1.0 - np.sum(p * p, axis=2)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
-    return -np.sum(p * logp, axis=2)
+        if criterion == "gini":
+            out = totals - np.einsum("...k,...k->...", counts, counts) / totals
+        else:
+            c_logc = np.where(counts > 0, counts, 1.0)
+            c_logc = np.einsum("...k,...k->...", counts, np.log2(c_logc))
+            out = totals * np.log2(np.where(totals > 0, totals, 1.0)) - c_logc
+    return np.where(totals > 0, out, 0.0)
 
 
 class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
@@ -106,6 +117,12 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     max_features:
         Number of features examined per split: ``None`` (all), ``"sqrt"``,
         ``"log2"``, an int, or a float fraction. Forests pass ``"sqrt"``.
+    splitter:
+        ``"exact"`` (argsort every candidate feature per node — the
+        reference path, default for seeded reproducibility) or ``"hist"``
+        (bin once, O(n) histogram split search per node).
+    max_bins:
+        Bins per feature for the hist splitter (2..256; uint8 codes).
     random_state:
         Seed/Generator used for feature subsampling only.
     """
@@ -117,6 +134,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
+        splitter: str = "exact",
+        max_bins: int = DEFAULT_MAX_BINS,
         random_state: int | np.random.Generator | None = None,
     ):
         self.criterion = criterion
@@ -124,6 +143,8 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.random_state = random_state
 
     # ------------------------------------------------------------------
@@ -147,24 +168,21 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
 
     def _best_split(
         self,
-        X: np.ndarray,
-        codes: np.ndarray,
-        idx: np.ndarray,
-        feat_candidates: np.ndarray,
+        Xs: np.ndarray,
+        y_node: np.ndarray,
         parent_impurity: float,
-    ) -> tuple[int, float, float] | None:
-        """Best (feature, threshold, weighted child impurity) for node ``idx``.
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        """Best (candidate position, threshold, child impurity, left mask).
 
-        Returns ``None`` when no valid split exists (all candidate features
-        constant, or every cut violates ``min_samples_leaf``).
+        ``Xs`` is the node's already-gathered ``(n, f)`` candidate-feature
+        block and ``y_node`` its class codes. Evaluates every candidate
+        feature at once: one argsort, one one-hot running count, one argmin
+        over all cuts. Returns ``None`` when no valid split exists (all
+        candidate features constant, or every cut violates
+        ``min_samples_leaf``).
         """
-        n = len(idx)
+        n, _ = Xs.shape
         k = self._n_classes
-        y_node = codes[idx]
-
-        # evaluate every candidate feature at once: (n, f) sorted columns,
-        # (n-1, f, k) running class counts, one argmin over all cuts
-        Xs = X[np.ix_(idx, feat_candidates)]  # (n, f)
         order = np.argsort(Xs, axis=0, kind="stable")
         xs_sorted = np.take_along_axis(Xs, order, axis=0)
         diff = xs_sorted[1:] != xs_sorted[:-1]  # (n-1, f)
@@ -186,9 +204,10 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         )
         if not valid.any():
             return None
-        imp_left = _impurity_3d(left_counts, n_left, self.criterion)
-        imp_right = _impurity_3d(right_counts, n_right, self.criterion)
-        weighted = (n_left * imp_left + n_right * imp_right) / n  # (n-1, f)
+        weighted = (
+            _mass_impurity(left_counts, np.broadcast_to(n_left, diff.shape), self.criterion)
+            + _mass_impurity(right_counts, np.broadcast_to(n_right, diff.shape), self.criterion)
+        ) / n  # (n-1, f)
         weighted = np.where(valid, weighted, np.inf)
         flat = int(np.argmin(weighted))
         cut, fpos = np.unravel_index(flat, weighted.shape)
@@ -196,11 +215,223 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         if score >= parent_impurity - 1e-12:  # must strictly improve
             return None
         thr = 0.5 * (xs_sorted[cut, fpos] + xs_sorted[cut + 1, fpos])
-        return int(feat_candidates[fpos]), float(thr), score
+        return int(fpos), float(thr), score, Xs[:, fpos] <= thr
+
+    def _best_splits_hist(
+        self,
+        sub: np.ndarray,
+        y_cat: np.ndarray,
+        sizes: np.ndarray,
+        node_counts: np.ndarray,
+        parent_imps: np.ndarray,
+    ):
+        """Segmented histogram split search over many nodes at once.
+
+        The LightGBM kernel, batched: one flattened bincount builds the
+        (node, feature, bin, class) count tensor for a whole level's worth
+        of large nodes in O(R · f), and one cumulative sum over bins scores
+        every candidate cut of every node — no sorting anywhere. Interface
+        matches :meth:`_best_splits_small` (stacked code blocks in, per-node
+        winners out); ``cut`` comes back as a *bin* index the caller maps to
+        the real-valued edge threshold.
+        """
+        R, f = sub.shape
+        S = len(sizes)
+        k = self._n_classes
+        msl = max(1, self.min_samples_leaf)
+        starts = np.zeros(S, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        slot = np.repeat(np.arange(S, dtype=np.int64), sizes)
+        nb = int(sub.max()) + 1
+        if nb < 2:  # every candidate feature constant in every node
+            return (np.zeros(S, dtype=bool),) + (None,) * 5
+        cells = S * f * nb * k
+        # int32 index arithmetic halves the bandwidth of the three passes
+        # below; bincount re-casts to intp internally either way
+        idt = np.int32 if cells < 2**31 else np.int64
+        flat = (
+            ((slot.astype(idt) * f)[:, None] + np.arange(f, dtype=idt)) * (nb * k)
+            + sub.astype(idt) * k
+            + y_cat.astype(idt)[:, None]
+        )
+        hist = np.bincount(flat.ravel(), minlength=cells).reshape(S, f, nb, k)
+        if R < 40_000:  # sums of squared counts stay below int32 overflow
+            hist = hist.astype(np.int32)
+        left = np.cumsum(hist, axis=2)[:, :, :-1, :]  # (S, f, nb-1, k)
+        n_left = left.sum(axis=3)  # (S, f, nb-1)
+        n_node = sizes[:, None, None]
+        n_right = n_node - n_left
+        valid = (n_left >= msl) & (n_right >= msl)
+        counts = node_counts.astype(hist.dtype)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            if self.criterion == "gini":
+                # right-side Σc² expands as Σt² − 2Σt·c_left + Σc_left², so
+                # the right-count tensor never has to be materialized; the
+                # integer sums are exact, and the float ops below mirror
+                # the exact splitter's operation order bit-for-bit so tied
+                # candidates score identically on both paths
+                e_l = np.einsum("sfbk,sfbk->sfb", left, left)
+                d = np.einsum("sk,sfbk->sfb", counts, left)
+                t2 = np.einsum("sk,sk->s", counts, counts)[:, None, None]
+                mass_l = n_left - e_l / n_left
+                mass_r = n_right - (t2 - 2 * d + e_l) / n_right
+                weighted = (mass_l + mass_r) / n_node
+            else:
+                right = counts[:, None, None, :] - left
+                weighted = (
+                    _mass_impurity(left, n_left, self.criterion)
+                    + _mass_impurity(right, n_right, self.criterion)
+                ) / n_node
+        weighted = np.where(valid, weighted, np.inf)
+        wflat = weighted.reshape(S, -1)
+        best = np.argmin(wflat, axis=1)
+        score = wflat[np.arange(S), best]
+        if np.count_nonzero(wflat == score[:, None]) > S:
+            # among tied cells pick the smallest (n_left, feature, bin) —
+            # the candidate the exact splitter's C-order (cut row, feature)
+            # argmin lands on, so hist and exact agree even under ties
+            tiekey = (
+                n_left.astype(np.int64) * f
+                + np.arange(f, dtype=np.int64)[:, None]
+            ) * (nb - 1) + np.arange(nb - 1, dtype=np.int64)
+            tiekey = np.where(
+                weighted == score[:, None, None],
+                tiekey,
+                np.iinfo(np.int64).max,
+            )
+            best = np.argmin(tiekey.reshape(S, -1), axis=1)
+        fpos, cut = np.unravel_index(best, (f, nb - 1))
+        ok = np.isfinite(score) & (score < parent_imps - 1e-12)
+        lc = left[np.arange(S), fpos, cut]  # (S, k)
+        col = sub[np.arange(R), fpos[slot]]
+        left_mask = col <= cut[slot]
+        return ok, fpos, cut, score, lc, left_mask
+
+    def _best_splits_small(
+        self,
+        sub: np.ndarray,
+        y_cat: np.ndarray,
+        sizes: np.ndarray,
+        node_counts: np.ndarray,
+        parent_imps: np.ndarray,
+    ):
+        """Segmented split search over *many* small nodes at once.
+
+        ``sub`` stacks the gathered ``(n_i, f)`` code blocks of ``S``
+        nodes row-wise (segment ``i`` spans ``sizes[i]`` rows); ``y_cat``
+        holds the matching class codes, ``node_counts`` the ``(S, k)``
+        per-node class totals, ``parent_imps`` the ``(S,)`` parent
+        impurities. A composite ``slot * 256 + code`` key makes one radix
+        argsort order every segment independently, so the whole level's
+        small nodes cost one set of tensor passes instead of ~20 numpy
+        calls each. Per node the result is bit-identical to running the
+        sort-based search on that node alone (same C-order tie-break).
+
+        Returns ``(ok, fpos, cut_code, score, left_counts, left_mask)``
+        where ``left_mask`` is in stacked original row order and nodes
+        with ``ok[i] == False`` found no improving split.
+        """
+        R, f = sub.shape
+        S = len(sizes)
+        k = self._n_classes
+        msl = max(1, self.min_samples_leaf)
+        starts = np.zeros(S, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        slot = np.repeat(np.arange(S, dtype=np.int32), sizes)  # (R,)
+        key = slot[:, None] * np.int32(256) + sub  # (R, f) int32
+        order = np.argsort(key, axis=0, kind="stable")
+        key_sorted = np.take_along_axis(key, order, axis=0)
+        y_sorted = y_cat.astype(np.uint8)[order]  # (R, f), k <= 256
+        cs = np.cumsum(
+            y_sorted[:, :, None] == np.arange(k, dtype=np.uint8),
+            axis=0,
+            dtype=np.int32,
+        )  # (R, f, k) running class counts across all segments
+        # subtract each segment's prefix so counts restart at its first row
+        base = np.zeros((S, f, k), dtype=np.int32)
+        if S > 1:
+            base[1:] = cs[starts[1:] - 1]
+        left_counts = cs - base[slot]  # (R, f, k)
+        n_left = (np.arange(R, dtype=np.int64) - starts[slot] + 1)[:, None]
+        n_node = sizes[slot][:, None]
+        n_right = n_node - n_left
+        # a cut after sorted row r is real only if row r+1 holds a different
+        # code *in the same segment*; segment-final rows die on n_right < 1
+        diff = np.zeros((R, f), dtype=bool)
+        diff[:-1] = key_sorted[1:] != key_sorted[:-1]
+        valid = diff & (n_left >= msl) & (n_right >= msl)
+        tot_rows = node_counts[slot]  # (R, k)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            if self.criterion == "gini":
+                # same Σc_right² expansion as the histogram kernel: one
+                # einsum per side instead of a full right-count tensor,
+                # float ops in the exact splitter's order for tie parity
+                e_l = np.einsum("rfk,rfk->rf", left_counts, left_counts)
+                d = np.einsum("rk,rfk->rf", tot_rows, left_counts)
+                t2 = np.einsum("rk,rk->r", tot_rows, tot_rows)[:, None]
+                mass_l = n_left - e_l / n_left
+                mass_r = n_right - (t2 - 2 * d + e_l) / n_right
+                weighted = (mass_l + mass_r) / n_node  # (R, f)
+            else:
+                right_counts = tot_rows[:, None, :] - left_counts
+                weighted = (
+                    _mass_impurity(left_counts, n_left, self.criterion)
+                    + _mass_impurity(right_counts, n_right, self.criterion)
+                ) / n_node
+        weighted = np.where(valid, weighted, np.inf)
+        rowmin = weighted.min(axis=1)  # (R,)
+        segmin = np.minimum.reduceat(rowmin, starts)  # (S,)
+        ok = np.isfinite(segmin) & (segmin < parent_imps - 1e-12)
+        # first row attaining each segment's min, then first feature at that
+        # row — matches the per-node C-order argmin tie-break exactly
+        hit_rows = np.flatnonzero(rowmin == segmin[slot])
+        r_star = hit_rows[np.unique(slot[hit_rows], return_index=True)[1]]
+        fpos = np.argmin(weighted[r_star], axis=1)  # (S,)
+        cut_code = key_sorted[r_star, fpos] - np.arange(S, dtype=np.int32) * 256
+        col = sub[np.arange(R), fpos[slot]]  # chosen feature column per row
+        left_mask = col <= cut_code[slot]
+        lc = left_counts[r_star, fpos]  # (S, k)
+        return ok, fpos, cut_code, segmin, lc, left_mask
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
         """Grow the tree depth-first on ``(X, y)``."""
         X, y = check_X_y(X, y)
+        if self.splitter not in ("exact", "hist"):
+            raise ValueError(
+                f"splitter must be 'exact' or 'hist', got {self.splitter!r}"
+            )
+        if self.splitter == "hist":
+            binner = Binner(self.max_bins)
+            return self._fit_binned(binner.fit_transform(X), binner.bin_edges_, y)
+        return self._fit_arrays(X, y)
+
+    def fit_binned(
+        self,
+        binned: BinnedDataset,
+        y: np.ndarray,
+        sample_indices: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow from a pre-binned dataset (shared across a forest / refits).
+
+        ``sample_indices`` selects the training rows (duplicates allowed —
+        a forest passes its bootstrap resample here) without ever copying
+        the shared code matrix.
+        """
+        y = np.asarray(y)
+        if len(y) != binned.n_samples:
+            raise ValueError(
+                f"binned has {binned.n_samples} samples but y has {len(y)}"
+            )
+        return self._fit_binned(
+            binned.codes, binned.bin_edges_, y, sample_indices, binned.codes_T
+        )
+
+    def _fit_arrays(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+    ) -> "DecisionTreeClassifier":
+        """Exact-splitter growth loop (depth-first, reference path)."""
         rng = check_random_state(self.random_state)
         self.classes_, codes = encode_labels(y)
         self._n_classes = len(self.classes_)
@@ -230,13 +461,15 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
                 feats = rng.choice(n_features, size=n_cand, replace=False)
             else:
                 feats = np.arange(n_features)
-            split = self._best_split(X, codes, idx, feats, parent_imp)
+            sub = X[np.ix_(idx, feats)]
+            y_node = codes[idx]
+            split = self._best_split(sub, y_node, parent_imp)
             if split is None:
                 continue
-            j, thr, child_imp = split
+            fpos, thr, child_imp, mask = split
+            j = int(feats[fpos])
             # mean decrease in impurity, weighted by node population
             importances[j] += (len(idx) / n_samples) * (parent_imp - child_imp)
-            mask = X[idx, j] <= thr
             left_idx, right_idx = idx[mask], idx[~mask]
             left_counts = np.bincount(codes[left_idx], minlength=self._n_classes)
             right_counts = counts - left_counts
@@ -249,6 +482,195 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             stack.append((left_id, left_idx, depth + 1))
             stack.append((right_id, right_idx, depth + 1))
 
+        return self._finalize(buf, importances)
+
+    def _fit_binned(
+        self,
+        X: np.ndarray,
+        edges: list[np.ndarray],
+        y: np.ndarray,
+        sample_indices: np.ndarray | None = None,
+        codes_T: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Breadth-first growth over bin codes (the hist hot path).
+
+        Level-wise batching: nodes still wider than ``max_bins`` run the
+        O(n) histogram kernel individually (there are at most a handful
+        per level); every *small* node on the level is folded into one
+        segmented sort-based search (:meth:`_best_splits_small`). Child
+        class counts fall out of the split search and child impurities
+        are evaluated for the whole next level in one call, so per-node
+        Python work shrinks to partitioning its index array.
+        """
+        rng = check_random_state(self.random_state)
+        n_features = X.shape[1]
+        if sample_indices is None:
+            root_idx = np.arange(X.shape[0])
+            self.classes_, codes = encode_labels(y)
+        else:
+            root_idx = np.asarray(sample_indices)
+            self.classes_, all_codes = encode_labels(y)
+            # class list comes from the resample, matching fit(X[idx], y[idx])
+            seen = np.unique(all_codes[root_idx])
+            self.classes_ = self.classes_[seen]
+            codes = np.searchsorted(seen, all_codes)  # garbage for unseen: ok,
+            # unseen classes never appear in root_idx so never get counted
+        self._n_classes = len(self.classes_)
+        n_samples = len(root_idx)
+        self.n_features_in_ = n_features
+        n_cand = self._n_candidate_features(n_features)
+        k = self._n_classes
+
+        buf = _TreeBuffers()
+        root_counts = np.bincount(codes[root_idx], minlength=k).astype(float)
+        root = buf.add_node(root_counts)
+        importances = np.zeros(n_features)
+        root_imp = float(
+            _impurity(
+                root_counts[None, :], np.array([root_counts.sum()]), self.criterion
+            )[0]
+        )
+        # (node_id, row indices, class counts, impurity)
+        level = [(root, root_idx, root_counts, root_imp)]
+        depth = 0
+        # bound the segmented kernel's working set (rows · f · k int32 cells)
+        rows_cap = max(int(self.max_bins), 8_000_000 // max(1, n_cand * k))
+
+        while level:
+            if self.max_depth is not None and depth >= self.max_depth:
+                break
+            splittable = [
+                node
+                for node in level
+                if np.count_nonzero(node[2]) > 1
+                and len(node[1]) >= self.min_samples_split
+            ]
+            if not splittable:
+                break
+            if n_cand < n_features:
+                featmat = np.stack(
+                    [
+                        rng.choice(n_features, size=n_cand, replace=False)
+                        for _ in splittable
+                    ]
+                )
+            else:
+                featmat = np.broadcast_to(
+                    np.arange(n_features), (len(splittable), n_features)
+                )
+            # (level position, fpos, bin cut, score, left counts, left mask)
+            found: list[tuple] = []
+            big: list[int] = []
+            small: list[int] = []
+            for pos, node in enumerate(splittable):
+                (small if len(node[1]) <= self.max_bins else big).append(pos)
+            # each kernel call's working set is ~cost · n_cand · k int32
+            # cells: a small node costs its row count, a histogram node a
+            # full bin axis — chunk so either stays cache-resident
+            for positions, kernel, cost in (
+                (big, self._best_splits_hist, lambda p: self.max_bins),
+                (small, self._best_splits_small, lambda p: len(splittable[p][1])),
+            ):
+                at = 0
+                while at < len(positions):
+                    chunk = [positions[at]]
+                    used = cost(positions[at])
+                    at += 1
+                    while (
+                        at < len(positions)
+                        and used + cost(positions[at]) <= rows_cap
+                    ):
+                        used += cost(positions[at])
+                        chunk.append(positions[at])
+                        at += 1
+                    idx_cat = np.concatenate([splittable[p][1] for p in chunk])
+                    sizes = np.array(
+                        [len(splittable[p][1]) for p in chunk], dtype=np.int64
+                    )
+                    slot = np.repeat(np.arange(len(chunk)), sizes)
+                    if kernel is self._best_splits_hist:
+                        # row-major X scatters one cache line per gathered
+                        # cell; routing big nodes through the transposed
+                        # copy keeps each node's candidate block (n_cand
+                        # contiguous rows of X.T) cache-resident
+                        if codes_T is None:
+                            codes_T = np.ascontiguousarray(X.T)
+                        sub = np.vstack(
+                            [
+                                codes_T[featmat[p]][:, splittable[p][1]].T
+                                for p in chunk
+                            ]
+                        )
+                    else:
+                        sub = X[idx_cat[:, None], featmat[chunk][slot]]
+                    counts_chunk = np.stack(
+                        [splittable[p][2] for p in chunk]
+                    ).astype(np.int32)
+                    imps_chunk = np.array([splittable[p][3] for p in chunk])
+                    ok, fpos_a, cut_a, score_a, lc_a, mask_a = kernel(
+                        sub, codes[idx_cat], sizes, counts_chunk, imps_chunk
+                    )
+                    if not ok.any():
+                        continue
+                    bounds = np.concatenate([[0], np.cumsum(sizes)])
+                    for ci, p in enumerate(chunk):
+                        if ok[ci]:
+                            found.append(
+                                (
+                                    p,
+                                    int(fpos_a[ci]),
+                                    int(cut_a[ci]),
+                                    float(score_a[ci]),
+                                    lc_a[ci],
+                                    mask_a[bounds[ci] : bounds[ci + 1]],
+                                )
+                            )
+            if not found:
+                break
+            found.sort(key=lambda t: t[0])  # BFS ids independent of kernel path
+            m = len(found)
+            pos_a = np.array([t[0] for t in found])
+            fpos_a = np.array([t[1] for t in found])
+            score_a = np.array([t[3] for t in found])
+            j_a = featmat[pos_a, fpos_a]
+            sz_a = np.array([len(splittable[p][1]) for p in pos_a], dtype=float)
+            imp_a = np.array([splittable[p][3] for p in pos_a])
+            # accumulation order matches the per-split loop: found is in
+            # level order, and add.at applies repeated indices in order
+            np.add.at(importances, j_a, (sz_a / n_samples) * (imp_a - score_a))
+            lc_mat = np.stack([t[4] for t in found]).astype(float)
+            counts_mat = np.stack([splittable[p][2] for p in pos_a])
+            cc = np.empty((2 * m, k))
+            cc[0::2] = lc_mat
+            cc[1::2] = counts_mat - lc_mat
+            first_child = len(buf.feature)
+            buf.feature.extend([_LEAF] * (2 * m))
+            buf.threshold.extend([0.0] * (2 * m))
+            buf.left.extend([_LEAF] * (2 * m))
+            buf.right.extend([_LEAF] * (2 * m))
+            buf.value.extend(cc)
+            imps = _impurity(cc, cc.sum(axis=1), self.criterion)
+            level = []
+            for i, (pos, _fpos, cut, _score, _lc, mask) in enumerate(found):
+                node_id, idx = splittable[pos][0], splittable[pos][1]
+                j = int(j_a[i])
+                left_id = first_child + 2 * i
+                buf.feature[node_id] = j
+                buf.threshold[node_id] = float(edges[j][cut])
+                buf.left[node_id] = left_id
+                buf.right[node_id] = left_id + 1
+                level.append((left_id, idx[mask], cc[2 * i], float(imps[2 * i])))
+                level.append(
+                    (left_id + 1, idx[~mask], cc[2 * i + 1], float(imps[2 * i + 1]))
+                )
+            depth += 1
+
+        return self._finalize(buf, importances)
+
+    def _finalize(
+        self, buf: _TreeBuffers, importances: np.ndarray
+    ) -> "DecisionTreeClassifier":
+        """Freeze growth buffers into the flat prediction arrays."""
         self.tree_feature_ = np.array(buf.feature, dtype=np.int64)
         self.tree_threshold_ = np.array(buf.threshold, dtype=np.float64)
         self.tree_left_ = np.array(buf.left, dtype=np.int64)

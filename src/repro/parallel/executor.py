@@ -1,4 +1,4 @@
-"""Process-pool map with chunking and ordered results.
+"""Process-pool map with chunking, ordered results, and pool reuse.
 
 The guides' advice for Python HPC: vectorize inside a process, fan
 embarrassingly parallel work across processes. This executor wraps
@@ -7,6 +7,13 @@ pickling overhead over many small tasks — per-run feature extraction is
 milliseconds, far below the cost of a bare task submission) and falls back
 to serial execution transparently when ``n_workers <= 1``, which keeps
 tests and seeded experiments deterministic by default.
+
+The pool is started lazily on the first parallel ``map`` and *reused* by
+every later call: the active-learning loop refits a forest after every
+query, so paying worker spawn/teardown per ``map`` (the old behaviour)
+dominated small refits. Call :meth:`close` (or use the executor as a
+context manager) to release the workers; a closed executor restarts its
+pool lazily if mapped again.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ def _run_chunk(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
 
 
 class Executor:
-    """Chunked, order-preserving parallel map.
+    """Chunked, order-preserving parallel map over a reusable pool.
 
     Parameters
     ----------
@@ -50,12 +57,20 @@ class Executor:
             raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
         self.n_workers = default_workers() if n_workers is None else max(1, n_workers)
         self.chunks_per_worker = chunks_per_worker
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, preserving input order.
 
         ``fn`` and the items must be picklable when ``n_workers > 1``
-        (module-level functions; no lambdas).
+        (module-level functions; no lambdas). The serial path
+        (``n_workers <= 1`` or a single item) is byte-identical to a
+        plain list comprehension.
         """
         items = list(items)
         if not items:
@@ -68,8 +83,37 @@ class Executor:
             for idx in block_partition(len(items), n_chunks)
             if len(idx)
         ]
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            chunk_results = list(
-                pool.map(_run_chunk, [fn] * len(chunks), chunks)
-            )
+        pool = self._ensure_pool()
+        chunk_results = list(pool.map(_run_chunk, [fn] * len(chunks), chunks))
         return [r for chunk in chunk_results for r in chunk]
+
+    def __getstate__(self) -> dict:
+        # a live pool holds locks and OS handles; callers pickle objects
+        # that reference their executor (e.g. a bound map_fn), so ship the
+        # configuration only — the copy restarts its pool lazily
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def close(self) -> None:
+        """Shut the worker pool down; safe to call twice or never.
+
+        A later ``map`` lazily starts a fresh pool, so a closed executor
+        stays usable.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):  # best-effort: never leak worker processes
+        try:
+            self.close()
+        except Exception:
+            pass

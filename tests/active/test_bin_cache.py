@@ -1,0 +1,131 @@
+"""Tests for the cross-refit bin cache in the active-learning loop."""
+
+import numpy as np
+import pytest
+
+from repro.active.learner import ActiveLearner
+from repro.active.loop import run_active_learning
+from repro.mlcore.binning import Binner
+from repro.mlcore.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    n, f = 260, 10
+    X = rng.normal(size=(n, f))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int) + (X[:, 2] > 1.2)
+    return (
+        X[:24], y[:24],  # seed
+        X[24:180], y[24:180],  # pool
+        X[180:], y[180:],  # test
+    )
+
+
+def _hist_rf(**kw):
+    kw.setdefault("n_estimators", 10)
+    kw.setdefault("max_depth", 6)
+    kw.setdefault("splitter", "hist")
+    kw.setdefault("random_state", 3)
+    return RandomForestClassifier(**kw)
+
+
+class TestLoopBinCache:
+    def test_auto_enables_for_hist_and_is_deterministic(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        kw = dict(n_queries=12, random_state=5)
+        r1 = run_active_learning(_hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw)
+        r2 = run_active_learning(_hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw)
+        assert r1.queried_labels == r2.queried_labels
+        assert np.array_equal(r1.f1, r2.f1)
+
+    def test_exact_estimator_unaffected_by_auto(self, problem):
+        # bin_cache="auto" must leave the exact path byte-for-byte alone
+        Xs, ys, Xp, yp, Xt, yt = problem
+        exact = RandomForestClassifier(n_estimators=10, max_depth=6, random_state=3)
+        kw = dict(n_queries=8, random_state=5)
+        r_auto = run_active_learning(exact, "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw)
+        r_off = run_active_learning(
+            exact, "uncertainty", Xs, ys, Xp, yp, Xt, yt, bin_cache=False, **kw
+        )
+        assert r_auto.queried_labels == r_off.queried_labels
+        assert np.array_equal(r_auto.f1, r_off.f1)
+
+    def test_cache_reaches_comparable_f1(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        kw = dict(n_queries=15, random_state=5)
+        cached = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw
+        )
+        uncached = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            bin_cache=False, **kw
+        )
+        assert abs(cached.final_f1 - uncached.final_f1) < 0.25
+
+    def test_true_requires_fit_binned(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+
+        class Plain:
+            def get_params(self):
+                return {}
+
+            def fit(self, X, y):
+                self.c_ = np.unique(y)
+                return self
+
+            def predict_proba(self, X):
+                return np.full((len(X), len(self.c_)), 1.0 / len(self.c_))
+
+            def predict(self, X):
+                return np.full(len(X), self.c_[0])
+
+        with pytest.raises(TypeError, match="fit_binned"):
+            run_active_learning(
+                Plain(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+                n_queries=2, bin_cache=True, random_state=0,
+            )
+
+    def test_bad_bin_cache_value(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        with pytest.raises(ValueError, match="bin_cache"):
+            run_active_learning(
+                _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+                bin_cache="yes",
+            )
+
+
+class TestLearnerBinCache:
+    def test_teach_appends_cached_codes(self, problem):
+        Xs, ys, Xp, yp, _, _ = problem
+        binner = Binner(64)
+        codes_all = binner.fit_transform(np.vstack([Xs, Xp]))
+        learner = ActiveLearner(
+            _hist_rf(), "uncertainty", Xs, ys,
+            random_state=0, binner=binner, initial_codes=codes_all[: len(Xs)],
+        )
+        learner.teach(Xp[4], yp[4], codes=codes_all[len(Xs) + 4])
+        assert learner.n_labeled == len(Xs) + 1
+        assert np.array_equal(learner._codes[-1], codes_all[len(Xs) + 4])
+
+    def test_teach_bins_row_when_codes_missing(self, problem):
+        Xs, ys, Xp, yp, _, _ = problem
+        binner = Binner(64)
+        binner.fit(np.vstack([Xs, Xp]))
+        learner = ActiveLearner(
+            _hist_rf(), "uncertainty", Xs, ys, random_state=0, binner=binner
+        )
+        learner.teach(Xp[0], yp[0])
+        assert np.array_equal(
+            learner._codes[-1], binner.transform(Xp[0][None, :])[0]
+        )
+
+    def test_rejects_estimator_without_fit_binned(self, problem):
+        Xs, ys, Xp, _, _, _ = problem
+        from repro.mlcore.linear import LogisticRegression
+
+        binner = Binner(64).fit(np.vstack([Xs, Xp]))
+        with pytest.raises(TypeError, match="fit_binned"):
+            ActiveLearner(
+                LogisticRegression(), "uncertainty", Xs, ys, binner=binner
+            )

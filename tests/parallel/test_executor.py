@@ -115,3 +115,57 @@ class TestSerialFallback:
         assert Executor(n_workers=1).map(_square, (i for i in range(5))) == [
             0, 1, 4, 9, 16,
         ]
+
+
+class TestPoolReuse:
+    def test_pool_persists_across_maps(self):
+        ex = Executor(n_workers=2)
+        try:
+            ex.map(_square, range(4))
+            pool1 = ex._pool
+            ex.map(_square, range(4))
+            assert ex._pool is pool1  # no spawn/teardown per map
+        finally:
+            ex.close()
+
+    def test_lazy_start(self):
+        ex = Executor(n_workers=2)
+        assert ex._pool is None  # nothing spawned until first parallel map
+        ex.close()
+
+    def test_close_idempotent_and_restartable(self):
+        ex = Executor(n_workers=2)
+        assert ex.map(_square, range(4)) == [0, 1, 4, 9]
+        ex.close()
+        ex.close()  # second close is a no-op
+        assert ex._pool is None
+        # a closed executor lazily restarts on the next map
+        assert ex.map(_square, range(4)) == [0, 1, 4, 9]
+        ex.close()
+
+    def test_context_manager_closes(self):
+        with Executor(n_workers=2) as ex:
+            assert ex.map(_square, range(4)) == [0, 1, 4, 9]
+            assert ex._pool is not None
+        assert ex._pool is None
+
+    def test_serial_executor_never_starts_a_pool(self):
+        ex = Executor(n_workers=1)
+        ex.map(_square, range(10))
+        assert ex._pool is None
+
+    def test_executor_with_live_pool_is_picklable(self):
+        # objects that reference their executor (a bound map_fn) get
+        # pickled into worker processes; the live pool must not ride along
+        import pickle
+
+        ex = Executor(n_workers=2)
+        try:
+            ex.map(_square, range(4))  # starts the pool
+            clone = pickle.loads(pickle.dumps(ex))
+            assert clone._pool is None
+            assert clone.n_workers == 2
+            assert clone.map(_square, range(3)) == [0, 1, 4]
+            clone.close()
+        finally:
+            ex.close()

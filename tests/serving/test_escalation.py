@@ -80,9 +80,12 @@ class TestClosedLoop:
             if key not in seen:
                 seen.add(key)
                 tiny_seed.append(run)
+        # enough trees that ensemble variance doesn't swamp the closed-loop
+        # signal: a 5-tree forest on a 30-run holdout swings ~0.3 macro-F1
+        # between seeds, drowning the "more annotations help" effect
         weak = ALBADross(
             tiny_config.catalog,
-            FrameworkConfig(n_features=30, model_params={"n_estimators": 5}),
+            FrameworkConfig(n_features=30, model_params={"n_estimators": 30}),
         )
         weak.fit_features(corpus["all"])
         weak.fit_initial(tiny_seed, [r.label for r in tiny_seed])

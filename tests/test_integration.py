@@ -35,8 +35,8 @@ def prep(volta_mini):
     return prepare(make_standard_split(ds, rng=0), k_features=120)
 
 
-def _rf(n=10):
-    return RandomForestClassifier(n_estimators=n, max_depth=8, random_state=0)
+def _rf(n=10, seed=0):
+    return RandomForestClassifier(n_estimators=n, max_depth=8, random_state=seed)
 
 
 class TestFullPipeline:
@@ -102,8 +102,14 @@ class TestHoldoutScenarios:
         holdout = prepare(make_input_holdout_split(ds, 0, rng=0), k_features=120)
 
         def start_f1(p):
-            model = _rf().fit(p.X_seed, p.y_seed)
-            return f1_score(p.y_test, model.predict(p.X_test))
+            # the holdout/standard gap is small on this mini corpus, so
+            # average a few forest seeds: one stream's luck (~±0.05 F1 at
+            # this size) must not decide the comparison
+            scores = [
+                f1_score(p.y_test, _rf(30, seed).fit(p.X_seed, p.y_seed).predict(p.X_test))
+                for seed in range(3)
+            ]
+            return float(np.mean(scores))
 
         assert start_f1(holdout) < start_f1(standard) + 0.05
 
