@@ -1,0 +1,209 @@
+"""Performance benchmark for the parallel deterministic data plane.
+
+Measures the PR's two claims and records them in
+``BENCH_data_plane.json`` at the repository root:
+
+* ``build_dataset`` end to end (campaign generation + feature
+  extraction) serial vs 4 workers, for both MVTS and TSFRESH — with the
+  output matrices asserted *bit-identical* between the arms, because the
+  seed-streamed data plane trades zero reproducibility for its speed;
+* the TSFRESH vectorization: whole-matrix approximate entropy vs the
+  historical per-column loop on a single preprocessed run matrix.
+
+Timing protocol mirrors ``test_perf_train_core.py``: this box throttles
+under sustained load, so competing configs are *interleaved* and each
+reported number is the median over reps.
+
+Parallel speedup is recorded alongside ``os.cpu_count()`` and only
+asserted (≥3x at 4 workers) when the machine actually has ≥4 cores and
+the full profile is running — on fewer cores extra workers can only add
+spawn/pickle overhead, which the artifact records honestly.
+
+``DATA_PLANE_PROFILE=smoke`` shrinks the campaign for CI; the smoke
+numbers gate regressions against ``benchmarks/baselines/`` via
+``DATA_PLANE_BASELINE=<path>`` (fail when >2x slower than the committed
+baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.datasets.generate import SystemConfig, build_dataset
+from repro.features.pipeline import preprocess_run
+from repro.features.tsfresh_lite import (
+    _approx_entropy_column,
+    _approx_entropy_matrix,
+)
+from repro.telemetry.catalog import build_catalog
+from repro.telemetry.collector import Collector
+from repro.telemetry.node import VOLTA_NODE
+
+PROFILE = os.environ.get("DATA_PLANE_PROFILE", "full")
+SMOKE = PROFILE == "smoke"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_data_plane.json"
+
+REPS = 2 if SMOKE else 3
+N_WORKERS = 4
+
+
+def _campaign() -> SystemConfig:
+    """The benchmark campaign (bench-scale in full profile)."""
+    app_names = ("CG", "BT") if SMOKE else ("CG", "BT", "Kripke", "MiniMD")
+    return SystemConfig(
+        name="bench-data-plane",
+        apps={k: VOLTA_APPS[k] for k in app_names},
+        catalog=build_catalog(
+            n_cores=1 if SMOKE else 4,
+            n_nics=1,
+            n_extra_cray=2 if SMOKE else 8,
+        ),
+        node=VOLTA_NODE,
+        intensities=(0.2, 1.0),
+        duration=64 if SMOKE else 240,
+        n_healthy_per_app_input=2 if SMOKE else 6,
+        n_anomalous_per_app_anomaly=2 if SMOKE else 6,
+    )
+
+
+def _update_results(section: str, payload: dict) -> None:
+    """Merge one bench section into the repo-root JSON artifact."""
+    doc = {}
+    if RESULT_PATH.exists():
+        doc = json.loads(RESULT_PATH.read_text())
+    doc.setdefault("schema", "data_plane/v1")
+    doc["profile"] = PROFILE
+    doc["cpu_count"] = os.cpu_count()
+    doc[section] = payload
+    RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\n=== {section} ===\n{json.dumps(payload, indent=2)}")
+
+
+def _build_seconds(config, method, n_jobs):
+    t0 = time.perf_counter()
+    ds, _ = build_dataset(config, method=method, rng=0, n_jobs=n_jobs)
+    return time.perf_counter() - t0, ds
+
+
+class TestBuildDataset:
+    def _bench_method(self, method: str) -> dict:
+        config = _campaign()
+        times: dict[str, list[float]] = {"serial": [], "parallel": []}
+        ref = par = None
+        for _rep in range(REPS):
+            t, ds = _build_seconds(config, method, n_jobs=1)
+            times["serial"].append(t)
+            ref = ds
+            t, ds = _build_seconds(config, method, n_jobs=N_WORKERS)
+            times["parallel"].append(t)
+            par = ds
+        # the whole point: parallelism must not move a single bit
+        assert np.array_equal(ref.X, par.X)
+        assert np.array_equal(ref.labels, par.labels)
+        assert np.array_equal(ref.apps, par.apps)
+        assert ref.feature_names == par.feature_names
+        med = {name: float(np.median(ts)) for name, ts in times.items()}
+        speedup = med["serial"] / med["parallel"]
+        payload = {
+            "n_runs": len(ref),
+            "n_features": int(ref.X.shape[1]),
+            "reps": REPS,
+            "serial_s": round(med["serial"], 4),
+            "parallel_4w_s": round(med["parallel"], 4),
+            "speedup_4w": round(speedup, 2),
+            "bit_identical": True,
+            "note": (
+                "speedup is bounded by cpu_count; with fewer than 4 cores "
+                "the 4-worker arm only adds spawn/pickle overhead"
+            ),
+        }
+        _update_results(f"build_dataset_{method}", payload)
+        if not SMOKE and (os.cpu_count() or 1) >= N_WORKERS:
+            assert speedup >= 3.0
+        return payload
+
+    def test_mvts_end_to_end(self):
+        payload = self._bench_method("mvts")
+        assert payload["serial_s"] > 0
+
+    def test_tsfresh_end_to_end(self):
+        payload = self._bench_method("tsfresh")
+        assert payload["serial_s"] > 0
+
+
+class TestTsfreshVectorization:
+    def test_approx_entropy_matrix_vs_column_loop(self):
+        """Single-run extraction: whole-matrix ApEn vs the legacy loop."""
+        config = _campaign()
+        collector = Collector(config.catalog, config.node, config.missing_rate)
+        app = next(iter(config.apps.values()))
+        run = collector.collect(
+            app,
+            input_deck=0,
+            duration=config.duration,
+            node_count=config.node_counts[0],
+            rng=np.random.default_rng(0),
+        )
+        X = preprocess_run(run.data, config.catalog.counter_mask)
+
+        times: dict[str, list[float]] = {"matrix": [], "column_loop": []}
+        vec = ref = None
+        for _rep in range(REPS + 1):
+            t0 = time.perf_counter()
+            vec = _approx_entropy_matrix(X)
+            times["matrix"].append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            ref = np.array(
+                [_approx_entropy_column(X[:, j]) for j in range(X.shape[1])]
+            )
+            times["column_loop"].append(time.perf_counter() - t0)
+        assert np.array_equal(vec, ref)  # vectorization is exact
+        med = {name: float(np.median(ts)) for name, ts in times.items()}
+        speedup = med["column_loop"] / med["matrix"]
+        _update_results(
+            "tsfresh_vectorization",
+            {
+                "run_shape": list(X.shape),
+                "reps": REPS + 1,
+                "column_loop_s": round(med["column_loop"], 4),
+                "matrix_s": round(med["matrix"], 4),
+                "speedup": round(speedup, 2),
+                "bit_identical": True,
+            },
+        )
+        if not SMOKE:
+            assert speedup >= 1.5
+
+
+class TestBaselineGate:
+    def test_no_regression_vs_committed_baseline(self):
+        """CI gate: fail when any recorded timing is >2x the baseline."""
+        baseline_path = os.environ.get("DATA_PLANE_BASELINE")
+        if not baseline_path:
+            import pytest
+
+            pytest.skip("DATA_PLANE_BASELINE not set")
+        baseline = json.loads(Path(baseline_path).read_text())
+        current = json.loads(RESULT_PATH.read_text())
+        assert current["profile"] == baseline["profile"], (
+            "baseline was recorded under a different profile"
+        )
+        checks = {
+            "build_dataset_mvts.serial_s": lambda d: d["build_dataset_mvts"]["serial_s"],
+            "build_dataset_tsfresh.serial_s": lambda d: d["build_dataset_tsfresh"]["serial_s"],
+            "tsfresh_vectorization.matrix_s": lambda d: d["tsfresh_vectorization"]["matrix_s"],
+        }
+        regressions = []
+        for name, get in checks.items():
+            ours, theirs = get(current), get(baseline)
+            if ours > 2.0 * theirs:
+                regressions.append(f"{name}: {ours:.3f}s vs baseline {theirs:.3f}s")
+        assert not regressions, "; ".join(regressions)

@@ -44,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--anomalous-per-cell", type=int, default=6)
     p.add_argument("--duration", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n-jobs", type=int, default=None,
+                   help="worker processes for the campaign (per-run seed "
+                        "streams; same bytes at any count). Default: the "
+                        "legacy serial generator")
     p.add_argument("--out", type=Path, required=True)
 
     p = sub.add_parser("train", help="train ALBADross on a run archive")
@@ -60,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tree split search: exact (reference) or hist "
                         "(histogram-binned, much faster)")
     p.add_argument("--n-jobs", type=int, default=1,
-                   help="worker processes for forest fitting (1 = serial)")
+                   help="worker processes for feature extraction and forest "
+                        "fitting (1 = serial)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=Path, required=True)
 
@@ -129,7 +134,7 @@ def _cmd_collect(args) -> int:
     from .datasets.runs_io import save_runs
 
     config = _config_for(args)
-    runs = generate_runs(config, rng=args.seed)
+    runs = generate_runs(config, rng=args.seed, n_jobs=args.n_jobs)
     path = save_runs(runs, args.out)
     labels = sorted({r.label for r in runs})
     print(f"collected {len(runs)} runs on {config.name} "

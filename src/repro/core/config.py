@@ -70,8 +70,10 @@ class FrameworkConfig:
         (histogram-binned, much faster; see ``docs/mlcore.md``). Ignored
         by non-tree models.
     n_jobs:
-        Worker processes for forest fitting (``random_forest`` only);
-        1 = serial, the default.
+        Worker processes shared by the data plane and the forest: drives
+        chunk-wise parallel feature extraction (any model family) and
+        forest fitting (``random_forest``); 1 = serial, the default.
+        Results are bit-identical at every worker count.
     random_state:
         Seed threaded through every stochastic component.
     """

@@ -108,7 +108,11 @@ class ALBADross:
     def __init__(self, catalog: MetricCatalog, config: FrameworkConfig | None = None):
         self.catalog = catalog
         self.config = config or FrameworkConfig()
-        self.extractor = FeatureExtractor(catalog, method=self.config.feature_method)
+        self.extractor = FeatureExtractor(
+            catalog,
+            method=self.config.feature_method,
+            n_jobs=self.config.n_jobs,
+        )
         self.scaler: MinMaxScaler | None = None
         self.selector: SelectKBest | None = None
         self.model: BaseEstimator | None = None

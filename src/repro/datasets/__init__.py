@@ -6,7 +6,7 @@ preprocessing (Min-Max + chi-square) of Sec. IV-E2.
 """
 
 from .eclipse import eclipse_config
-from .generate import SystemConfig, build_dataset, generate_runs
+from .generate import SystemConfig, build_dataset, generate_corpus, generate_runs
 from .runs_io import load_runs, save_runs
 from .splits import (
     PreparedSplit,
@@ -24,6 +24,7 @@ __all__ = [
     "SystemConfig",
     "build_dataset",
     "eclipse_config",
+    "generate_corpus",
     "generate_runs",
     "load_runs",
     "save_runs",

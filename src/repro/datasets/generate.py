@@ -7,6 +7,23 @@ Eclipse datasets. :class:`SystemConfig` captures everything that differs
 between the two systems (applications, node hardware, metric catalog,
 intensity grid, node counts, run durations), and
 :func:`generate_runs` / :func:`build_dataset` execute the campaign.
+
+Two execution modes:
+
+* ``n_jobs=None`` (default) — the legacy serial path: one shared RNG is
+  consumed run by run, byte-identical to every corpus this repo has ever
+  generated. Cached ``.npz`` snapshots and seeded experiment numbers
+  stay valid.
+* ``n_jobs=<int>`` — the *seed-streamed* data plane: the full
+  (app × deck × anomaly × repeat) condition grid is materialized up
+  front and every run draws from its own RNG stream derived from the
+  master seed plus the run's grid coordinates (the same trick as the
+  forest's per-tree streams). Because no run reads another run's stream,
+  the corpus is bit-identical at any worker count — ``n_jobs=1`` and
+  ``n_jobs=8`` produce the same bytes — and the grid fans out over
+  :class:`repro.parallel.Executor` with workers returning packed
+  :class:`~repro.telemetry.corpus.RunCorpus` chunks (one contiguous
+  buffer each, no per-record pickling). See ``docs/data_plane.md``.
 """
 
 from __future__ import annotations
@@ -20,11 +37,13 @@ from ..anomalies import get_anomaly
 from ..apps.base import AppSignature
 from ..features.pipeline import FeatureDataset, FeatureExtractor
 from ..mlcore.base import check_random_state
+from ..parallel import Executor, block_partition
 from ..telemetry.catalog import MetricCatalog
 from ..telemetry.collector import Collector, RunRecord
+from ..telemetry.corpus import RunCorpus
 from ..telemetry.node import NodeProfile
 
-__all__ = ["SystemConfig", "generate_runs", "build_dataset"]
+__all__ = ["SystemConfig", "generate_runs", "generate_corpus", "build_dataset"]
 
 
 @dataclass(frozen=True)
@@ -70,11 +89,139 @@ class SystemConfig:
         return ("healthy", *self.anomaly_names)
 
 
+# ----------------------------------------------------------------------
+# the condition grid and per-run seed streams (parallel data plane)
+
+@dataclass(frozen=True)
+class _RunSpec:
+    """One cell of the campaign grid, with its RNG stream coordinates.
+
+    ``stream_key`` identifies the run's independent seed stream: healthy
+    runs use ``(app_idx, 0, deck, repeat)``, anomalous runs
+    ``(app_idx, 1 + anomaly_idx, repeat)``. The key depends only on the
+    grid coordinates — never on enumeration order or worker count.
+    ``node_count`` is ``None`` for healthy runs: the legacy campaign
+    draws it at collection time, so streamed runs draw it from their own
+    stream as the first variate.
+    """
+
+    app_name: str
+    input_deck: int
+    anomaly_name: str | None
+    intensity: float
+    node_count: int | None
+    stream_key: tuple[int, ...]
+
+
+def _campaign_grid(config: SystemConfig) -> list[_RunSpec]:
+    """Materialize every (app × deck × anomaly × repeat) cell, in the
+    canonical (legacy-enumeration) corpus order."""
+    specs: list[_RunSpec] = []
+    for app_idx, (app_name, app) in enumerate(sorted(config.apps.items())):
+        n_inputs = min(app.n_inputs, 3)
+        for deck in range(n_inputs):
+            for rep in range(config.n_healthy_per_app_input):
+                specs.append(
+                    _RunSpec(
+                        app_name=app_name,
+                        input_deck=deck,
+                        anomaly_name=None,
+                        intensity=0.0,
+                        node_count=None,
+                        stream_key=(app_idx, 0, deck, rep),
+                    )
+                )
+        for anomaly_idx, anomaly_name in enumerate(config.anomaly_names):
+            for rep in range(config.n_anomalous_per_app_anomaly):
+                specs.append(
+                    _RunSpec(
+                        app_name=app_name,
+                        input_deck=rep % n_inputs,
+                        anomaly_name=anomaly_name,
+                        intensity=config.intensities[rep % len(config.intensities)],
+                        node_count=config.node_counts[rep % len(config.node_counts)],
+                        stream_key=(app_idx, 1 + anomaly_idx, rep),
+                    )
+                )
+    return specs
+
+
+def _master_entropy(rng: int | np.random.Generator | None) -> int:
+    """The campaign-level seed the per-run streams branch from."""
+    if rng is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(np.iinfo(np.int64).max))
+    return int(rng)
+
+
+def _collect_chunk(payload: tuple[SystemConfig, int, list[_RunSpec]]) -> RunCorpus:
+    """Worker body: collect one grid chunk into a packed corpus."""
+    config, master, specs = payload
+    collector = Collector(config.catalog, config.node, config.missing_rate)
+    runs: list[RunRecord] = []
+    for spec in specs:
+        seq = np.random.SeedSequence(entropy=master, spawn_key=spec.stream_key)
+        rng = np.random.default_rng(seq)
+        node_count = spec.node_count
+        if node_count is None:
+            node_count = config.node_counts[int(rng.integers(len(config.node_counts)))]
+        anomaly = get_anomaly(spec.anomaly_name) if spec.anomaly_name else None
+        runs.append(
+            collector.collect(
+                config.apps[spec.app_name],
+                input_deck=spec.input_deck,
+                duration=config.duration,
+                anomaly=anomaly,
+                intensity=spec.intensity,
+                node_count=node_count,
+                rng=rng,
+            )
+        )
+    return RunCorpus.from_records(runs)
+
+
+def generate_corpus(
+    config: SystemConfig,
+    rng: int | np.random.Generator | None = None,
+    n_jobs: int = 1,
+) -> RunCorpus:
+    """Execute the campaign with per-run seed streams, packed.
+
+    The output is bit-identical for every ``n_jobs``; pass the same seed
+    to get the same corpus whether it was built by one process or eight.
+    """
+    master = _master_entropy(rng)
+    specs = _campaign_grid(config)
+    n_jobs = max(1, int(n_jobs))
+    if n_jobs == 1 or len(specs) == 1:
+        return _collect_chunk((config, master, specs))
+    with Executor(n_workers=n_jobs) as executor:
+        payloads = [
+            (config, master, [specs[i] for i in idx])
+            for idx in block_partition(len(specs), min(len(specs), n_jobs * 4))
+            if len(idx)
+        ]
+        parts = executor.map(_collect_chunk, payloads)
+    return RunCorpus.concat(parts)
+
+
+# ----------------------------------------------------------------------
 def generate_runs(
     config: SystemConfig,
     rng: int | np.random.Generator | None = None,
+    n_jobs: int | None = None,
 ) -> list[RunRecord]:
-    """Execute the full campaign and return every collected run."""
+    """Execute the full campaign and return every collected run.
+
+    ``n_jobs=None`` keeps the legacy shared-RNG serial path (byte-stable
+    across releases); any explicit ``n_jobs`` — including 1 — switches to
+    the seed-streamed grid of :func:`generate_corpus`, whose output is
+    bit-identical at every worker count but differs from the legacy
+    stream (each run owns an independent RNG).
+    """
+    if n_jobs is not None:
+        return generate_corpus(config, rng, n_jobs=n_jobs).to_records()
     rng = check_random_state(rng)
     collector = Collector(config.catalog, config.node, config.missing_rate)
     runs: list[RunRecord] = []
@@ -119,12 +266,22 @@ def build_dataset(
     method: str = "mvts",
     rng: int | np.random.Generator | None = None,
     map_fn: Callable[..., Iterable[np.ndarray]] | None = None,
+    n_jobs: int | None = None,
 ) -> tuple[FeatureDataset, FeatureExtractor]:
     """Run the campaign and featurize it in one call.
 
     Returns the featurized corpus plus the fitted extractor (whose drop
     mask must be reused on any later runs from the same system).
+    ``n_jobs=None`` is the legacy serial pipeline; an explicit ``n_jobs``
+    runs the seed-streamed generator *and* chunk-wise parallel feature
+    extraction, with output bit-identical at every worker count.
     """
-    runs = generate_runs(config, rng)
-    extractor = FeatureExtractor(config.catalog, method=method, map_fn=map_fn)
-    return extractor.fit_transform(runs), extractor
+    if n_jobs is None:
+        runs = generate_runs(config, rng)
+        extractor = FeatureExtractor(config.catalog, method=method, map_fn=map_fn)
+        return extractor.fit_transform(runs), extractor
+    corpus = generate_corpus(config, rng, n_jobs=n_jobs)
+    extractor = FeatureExtractor(
+        config.catalog, method=method, map_fn=map_fn, n_jobs=n_jobs
+    )
+    return extractor.fit_transform(corpus), extractor

@@ -11,7 +11,14 @@ from .analysis import (
     per_class_report,
     query_efficiency,
 )
-from .cache import get_or_build, load_dataset, save_dataset
+from .cache import (
+    cached_selection,
+    config_fingerprint,
+    dataset_fingerprint,
+    get_or_build,
+    load_dataset,
+    save_dataset,
+)
 from .configs import (
     CACHE_DIR,
     K_FEATURES,
@@ -66,7 +73,10 @@ __all__ = [
     "bench_dataset",
     "bench_eclipse_config",
     "bench_volta_config",
+    "cached_selection",
+    "config_fingerprint",
     "curve_table",
+    "dataset_fingerprint",
     "default_model_factory",
     "distribution_table",
     "format_table",

@@ -15,7 +15,7 @@ from ..datasets.eclipse import eclipse_config
 from ..datasets.generate import SystemConfig, build_dataset
 from ..datasets.volta import volta_config
 from ..features.pipeline import FeatureDataset
-from .cache import get_or_build
+from .cache import config_fingerprint, get_or_build
 
 __all__ = [
     "CACHE_DIR",
@@ -82,6 +82,7 @@ def bench_dataset(system: str, method: str = "mvts", rng: int = 0) -> FeatureDat
         ds, _ = build_dataset(cfg, method=method, rng=rng)
         return ds
 
-    # bump the version suffix whenever substrate generation changes — the
-    # cache is keyed by name only
-    return get_or_build(f"{system}-{method}-r{rng}-v3", build, CACHE_DIR)
+    # content-addressed name: any change to the campaign description or
+    # extractor invalidates the entry automatically (no manual -vN bumps)
+    key = config_fingerprint(cfg, method=method, seed=rng)
+    return get_or_build(f"{system}-{method}-r{rng}-{key[:12]}", build, CACHE_DIR)

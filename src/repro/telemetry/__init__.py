@@ -17,6 +17,7 @@ from .catalog import (
     volta_catalog,
 )
 from .collector import Collector, RunRecord
+from .corpus import RunCorpus
 from .node import ECLIPSE_NODE, VOLTA_NODE, NodeProfile
 from .sampler import TelemetrySampler
 
@@ -28,6 +29,7 @@ __all__ = [
     "MetricSpec",
     "NodeProfile",
     "RESOURCE_DIMS",
+    "RunCorpus",
     "RunRecord",
     "Subsystem",
     "TelemetrySampler",

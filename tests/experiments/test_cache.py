@@ -1,10 +1,20 @@
-"""Tests for the on-disk dataset cache."""
+"""Tests for the content-addressed on-disk dataset cache."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.experiments.cache import get_or_build, load_dataset, save_dataset
+from repro.experiments.cache import (
+    cached_selection,
+    config_fingerprint,
+    dataset_fingerprint,
+    get_or_build,
+    load_dataset,
+    save_dataset,
+)
 from repro.features.pipeline import FeatureDataset
+from repro.mlcore.feature_selection import SelectKBest
 
 
 def _dataset(n=6):
@@ -56,3 +66,104 @@ class TestGetOrBuild:
         (tmp_path / "bad.npz").write_bytes(b"not a zip")
         ds = get_or_build("bad", _dataset, tmp_path)
         assert len(ds) == 6
+
+
+class TestFingerprintValidation:
+    def test_fingerprint_recorded_in_manifest(self, tmp_path):
+        ds = get_or_build("corp", _dataset, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["corp"]["fingerprint"] == dataset_fingerprint(ds)
+
+    def test_tampered_entry_rebuilt(self, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return _dataset()
+
+        get_or_build("corp", builder, tmp_path)
+        # swap the snapshot for a different corpus behind the manifest's back
+        other = _dataset()
+        other.X = other.X + 1.0
+        save_dataset(other, tmp_path / "corp.npz")
+        ds = get_or_build("corp", builder, tmp_path)
+        assert len(calls) == 2
+        assert np.array_equal(ds.X, _dataset().X)
+
+    def test_legacy_entry_backfilled_without_rebuild(self, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return _dataset()
+
+        ds = get_or_build("corp", builder, tmp_path)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["corp"]["fingerprint"]  # pre-fingerprint-era entry
+        manifest_path.write_text(json.dumps(manifest))
+        get_or_build("corp", builder, tmp_path)
+        assert len(calls) == 1  # validated lazily, not rebuilt
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["corp"]["fingerprint"] == dataset_fingerprint(ds)
+
+    def test_fingerprint_sensitive_to_content(self):
+        a = _dataset()
+        b = _dataset()
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        b.X = b.X + 1e-12
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+
+class TestConfigFingerprint:
+    def test_stable_and_discriminating(self, tiny_config):
+        base = config_fingerprint(tiny_config, method="mvts", seed=0)
+        assert base == config_fingerprint(tiny_config, method="mvts", seed=0)
+        assert base != config_fingerprint(tiny_config, method="tsfresh", seed=0)
+        assert base != config_fingerprint(tiny_config, method="mvts", seed=1)
+
+    def test_sensitive_to_campaign_fields(self, tiny_config):
+        import dataclasses
+
+        other = dataclasses.replace(tiny_config, duration=tiny_config.duration + 32)
+        assert config_fingerprint(tiny_config) != config_fingerprint(other)
+
+
+class TestCachedSelection:
+    def _problem(self, n=40, m=10, k=4):
+        rng = np.random.default_rng(0)
+        X = np.abs(rng.normal(size=(n, m)))
+        y = np.array(["a", "b", "c", "d"] * (n // 4))
+        return X, y, k
+
+    def test_matches_direct_fit(self, tmp_path):
+        X, y, k = self._problem()
+        cached = cached_selection(X, y, k, tmp_path)
+        direct = SelectKBest(k=k).fit(X, y)
+        assert np.array_equal(cached.support_, direct.support_)
+        assert np.array_equal(cached.scores_, direct.scores_)
+        assert np.array_equal(cached.transform(X), direct.transform(X))
+
+    def test_second_call_hits_cache(self, tmp_path):
+        X, y, k = self._problem()
+        cached_selection(X, y, k, tmp_path)
+        entries = list(tmp_path.glob("chi2-*.npz"))
+        assert len(entries) == 1
+        again = cached_selection(X, y, k, tmp_path)
+        assert list(tmp_path.glob("chi2-*.npz")) == entries
+        assert np.array_equal(again.support_, SelectKBest(k=k).fit(X, y).support_)
+
+    def test_key_distinguishes_k_and_data(self, tmp_path):
+        X, y, k = self._problem()
+        cached_selection(X, y, k, tmp_path)
+        cached_selection(X, y, k + 1, tmp_path)
+        cached_selection(X + 1.0, y, k, tmp_path)
+        assert len(list(tmp_path.glob("chi2-*.npz"))) == 3
+
+    def test_corrupt_entry_refit(self, tmp_path):
+        X, y, k = self._problem()
+        cached_selection(X, y, k, tmp_path)
+        entry = next(tmp_path.glob("chi2-*.npz"))
+        entry.write_bytes(b"junk")
+        again = cached_selection(X, y, k, tmp_path)
+        assert np.array_equal(again.support_, SelectKBest(k=k).fit(X, y).support_)

@@ -23,6 +23,7 @@ class TestDocsExist:
             "benchmarks.md",
             "operations.md",
             "mlcore.md",
+            "data_plane.md",
         }
         assert expected <= {p.name for p in DOCS.glob("*.md")}
 
