@@ -1,0 +1,259 @@
+"""Performance benchmark for the sharded serving fleet.
+
+Replays the paper's production shape — Eclipse, 1488 compute nodes at
+1 Hz — through the serving path and records the result in
+``BENCH_serving.json`` at the repository root:
+
+* the *same deterministic stream* driven through a single
+  :class:`DiagnosisService` (the pre-fleet serving path) and through a
+  4-shard :class:`FleetService`, with the diagnoses asserted identical
+  between arms (sharding must not change a single label or confidence);
+* a faulted fleet arm replaying seeded stalls, hangs, and crash bursts
+  against individual shards plus a mid-replay shard kill — recording the
+  typed failure census and proving the census is exhaustive (every
+  accepted event resolves).
+
+Timing protocol mirrors ``test_perf_train_core.py``: this box throttles
+under sustained load, so the serial and fleet arms are *interleaved* and
+each reported number is the median over reps.
+
+``SERVING_PROFILE=smoke`` shrinks the stream for CI; the smoke numbers
+gate regressions against ``benchmarks/baselines/`` via
+``SERVING_BASELINE=<path>`` (fail when >2x slower than the committed
+baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.volta_apps import VOLTA_APPS
+from repro.core.config import FrameworkConfig
+from repro.core.framework import ALBADross
+from repro.datasets.generate import SystemConfig, generate_runs
+from repro.serving.fleet import FleetService
+from repro.serving.registry import ModelRegistry
+from repro.serving.replay import (
+    ECLIPSE_NODES,
+    ReplayStream,
+    fault_wrapper_factory,
+    replay,
+)
+from repro.serving.service import DiagnosisService
+from repro.telemetry.catalog import build_catalog
+from repro.telemetry.node import VOLTA_NODE
+from repro.testing.faults import FaultPlan
+
+PROFILE = os.environ.get("SERVING_PROFILE", "full")
+SMOKE = PROFILE == "smoke"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+REPS = 1 if SMOKE else 3
+N_SHARDS = 4
+TICKS = 2
+EMIT_PER_TICK = 96 if SMOKE else None  # None = all 1488 nodes, saturation
+
+
+def _update_results(section: str, payload: dict) -> None:
+    """Merge one bench section into the repo-root JSON artifact."""
+    doc = {}
+    if RESULT_PATH.exists():
+        doc = json.loads(RESULT_PATH.read_text())
+    doc.setdefault("schema", "serving/v1")
+    doc["profile"] = PROFILE
+    doc["cpu_count"] = os.cpu_count()
+    doc["n_nodes"] = ECLIPSE_NODES
+    doc[section] = payload
+    RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\n=== {section} ===\n{json.dumps(payload, indent=2)}")
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """Trained registry plus replay templates, bench-scale."""
+    config = SystemConfig(
+        name="bench-serving",
+        apps={k: VOLTA_APPS[k] for k in ("CG", "BT", "Kripke")},
+        catalog=build_catalog(n_cores=2, n_nics=1, n_extra_cray=4),
+        node=VOLTA_NODE,
+        intensities=(0.2, 1.0),
+        duration=96,
+        n_healthy_per_app_input=4,
+        n_anomalous_per_app_anomaly=3,
+    )
+    runs = generate_runs(config, rng=11)
+    framework = ALBADross(
+        config.catalog,
+        FrameworkConfig(n_features=30, model_params={"n_estimators": 5}),
+    )
+    framework.fit_features(runs)
+    third = len(runs) // 3
+    framework.fit_initial(
+        runs[:third], [r.label for r in runs[:third]]
+    )
+    registry = ModelRegistry(tmp_path_factory.mktemp("bench-registry"))
+    registry.publish(framework, tag="bench-serving")
+    return {"registry": registry, "templates": runs[2 * third :]}
+
+
+def _stream(harness) -> ReplayStream:
+    return ReplayStream(
+        harness["templates"],
+        n_nodes=ECLIPSE_NODES,
+        ticks=TICKS,
+        emit_per_tick=EMIT_PER_TICK,
+        seed=17,
+    )
+
+
+def _service_opts() -> dict:
+    return dict(max_batch=64, max_linger_s=0.002, cache_size=0)
+
+
+class TestEclipseReplay:
+    def test_serial_vs_fleet(self, harness):
+        """The tentpole numbers: sustained runs/sec and tail latency for
+        the identical 1488-node stream, serial engine vs sharded fleet."""
+        registry = harness["registry"]
+        arms: dict[str, list] = {"serial": [], "fleet": []}
+        parity: dict[str, list] = {}
+        for _rep in range(REPS):  # interleaved, medians below
+            with DiagnosisService(registry, **_service_opts()) as serial:
+                arms["serial"].append(
+                    replay(serial, _stream(harness), keep_diagnoses=True)
+                )
+            fleet = FleetService(registry, n_shards=N_SHARDS, **_service_opts())
+            with fleet:
+                arms["fleet"].append(
+                    replay(fleet, _stream(harness), keep_diagnoses=True)
+                )
+        for name, reports in arms.items():
+            for report in reports:
+                assert report.n_failed == 0, (name, report.failures)
+                assert report.n_ok == report.n_events == len(_stream(harness))
+            parity[name] = [
+                (d.label, d.confidence) for d in reports[0].diagnoses
+            ]
+        # sharding must not change a single diagnosis
+        assert parity["fleet"] == parity["serial"]
+
+        med = {
+            name: {
+                "wall_s": float(np.median([r.wall_s for r in reports])),
+                "sustained_rps": float(
+                    np.median([r.sustained_rps for r in reports])
+                ),
+                "p50_ms": float(np.median([r.p50_ms for r in reports])),
+                "p99_ms": float(np.median([r.p99_ms for r in reports])),
+            }
+            for name, reports in arms.items()
+        }
+        payload = {
+            "n_events": arms["serial"][0].n_events,
+            "ticks": TICKS,
+            "emit_per_tick": EMIT_PER_TICK or ECLIPSE_NODES,
+            "n_shards": N_SHARDS,
+            "reps": REPS,
+            "serial": {k: round(v, 4) for k, v in med["serial"].items()},
+            "fleet": {k: round(v, 4) for k, v in med["fleet"].items()},
+            "fleet_speedup": round(
+                med["serial"]["wall_s"] / med["fleet"]["wall_s"], 2
+            ),
+            "diagnoses_identical": True,
+            "note": (
+                "single shared model => fleet speedup is bounded by "
+                "cpu_count and batching overlap, not by shard count"
+            ),
+        }
+        _update_results("eclipse_replay", payload)
+        assert payload["serial"]["sustained_rps"] > 0
+        assert payload["fleet"]["sustained_rps"] > 0
+
+    def test_faulted_fleet(self, harness):
+        """Chaos arm: seeded stalls, hangs, crash bursts, and a shard
+        killed mid-replay. The census must stay exhaustive and the
+        surviving shards must keep absorbing the stream."""
+        registry = harness["registry"]
+        plans = {
+            0: FaultPlan.script(["ok", "stall:0.05", "ok", "raise:3", "hang"]),
+            1: FaultPlan.script(["ok", "ok", "raise:2"]),
+        }
+        factory = fault_wrapper_factory(plans, hang_limit_s=0.2)
+        fleet = FleetService(
+            registry,
+            n_shards=N_SHARDS,
+            predict_wrapper_factory=factory,
+            **_service_opts(),
+        )
+        kill_at_tick = 1
+        victim = N_SHARDS - 1
+
+        def on_tick(tick: int) -> None:
+            if tick == kill_at_tick:
+                fleet.mark_down(victim)
+
+        t0 = time.perf_counter()
+        with fleet:
+            report = replay(
+                fleet,
+                _stream(harness),
+                on_tick=on_tick,
+                probe_between_ticks=True,
+            )
+        wall_s = time.perf_counter() - t0
+        assert report.n_ok + report.n_failed == report.n_events
+        assert report.n_ok > 0
+        assert victim in fleet.down_shards
+        payload = {
+            "n_events": report.n_events,
+            "n_ok": report.n_ok,
+            "n_failed": report.n_failed,
+            "failure_census": dict(sorted(report.failures.items())),
+            "killed_shard": victim,
+            "kill_at_tick": kill_at_tick,
+            "reroutes": fleet.reroutes,
+            "sustained_rps": round(report.sustained_rps, 1),
+            "wall_s": round(wall_s, 4),
+            "census_exhaustive": True,
+        }
+        _update_results("eclipse_replay_faulted", payload)
+
+
+class TestBaselineGate:
+    def test_no_regression_vs_committed_baseline(self):
+        """CI gate: fail when any recorded timing is >2x the baseline."""
+        baseline_path = os.environ.get("SERVING_BASELINE")
+        if not baseline_path:
+            pytest.skip("SERVING_BASELINE not set")
+        baseline = json.loads(Path(baseline_path).read_text())
+        current = json.loads(RESULT_PATH.read_text())
+        assert current["profile"] == baseline["profile"], (
+            "baseline was recorded under a different profile"
+        )
+        checks = {
+            "eclipse_replay.serial.wall_s": lambda d: d["eclipse_replay"][
+                "serial"
+            ]["wall_s"],
+            "eclipse_replay.fleet.wall_s": lambda d: d["eclipse_replay"][
+                "fleet"
+            ]["wall_s"],
+            "eclipse_replay_faulted.wall_s": lambda d: d[
+                "eclipse_replay_faulted"
+            ]["wall_s"],
+        }
+        regressions = []
+        for name, get in checks.items():
+            ours, theirs = get(current), get(baseline)
+            if ours > 2.0 * theirs:
+                regressions.append(
+                    f"{name}: {ours:.3f}s vs baseline {theirs:.3f}s"
+                )
+        assert not regressions, "; ".join(regressions)

@@ -15,7 +15,12 @@ The operational surface a site would actually script against:
   (list / publish / rollback / activate);
 * ``serve-batch`` — score an archive through the online
   :class:`~repro.serving.service.DiagnosisService` (micro-batching,
-  cache, escalation) and print the service counters.
+  cache, escalation) and print the service counters;
+* ``fleet-serve`` — score an archive through the sharded
+  :class:`~repro.serving.fleet.FleetService` (consistent-hash routing,
+  per-shard breaker/watchdog, optional durable job store);
+* ``queue`` — operate the durable job queue
+  (list / inspect / requeue / purge).
 """
 
 from __future__ import annotations
@@ -113,6 +118,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="watchdog: restart a dispatch loop stuck this long")
     p.add_argument("--health", action="store_true",
                    help="print the health/readiness probe after serving")
+    p.add_argument("--stats-json", type=Path, default=None,
+                   help="dump a machine-readable ServiceStats snapshot "
+                        "(plus health) to this path for scraping")
+
+    p = sub.add_parser("fleet-serve",
+                       help="score an archive through the sharded fleet")
+    p.add_argument("--registry", type=Path, required=True)
+    p.add_argument("--runs", type=Path, required=True)
+    p.add_argument("--ref", default="current",
+                   help="registry version to serve (default: current)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="engine shards in the pool")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per shard on the hash ring")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--linger-ms", type=float, default=5.0)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--escalate", action="store_true",
+                   help="route low-confidence verdicts to the escalation queue")
+    p.add_argument("--jobs-db", type=Path, default=None,
+                   help="durable job queue database; escalations flush "
+                        "here at shutdown and survive crashes")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request TTL; expired requests fail fast")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries (with backoff) for transient scoring failures")
+    p.add_argument("--degrade-after", type=int, default=None,
+                   help="per-shard circuit breaker threshold")
+    p.add_argument("--stall-timeout-s", type=float, default=None,
+                   help="per-shard watchdog stall timeout")
+    p.add_argument("--health", action="store_true",
+                   help="print the fleet health probe after serving")
+    p.add_argument("--stats-json", type=Path, default=None,
+                   help="dump the aggregated fleet stats snapshot "
+                        "(plus health) to this path for scraping")
+
+    p = sub.add_parser("queue", help="operate the durable job queue")
+    p.add_argument("action", choices=("list", "inspect", "requeue", "purge"))
+    p.add_argument("--db", type=Path, required=True,
+                   help="job queue database file")
+    p.add_argument("--state", default=None,
+                   help="filter (list) or target (purge) job state")
+    p.add_argument("--kind", default=None, help="filter by job kind (list)")
+    p.add_argument("--job-id", type=int, default=None,
+                   help="job to inspect or requeue")
+    p.add_argument("--limit", type=int, default=50,
+                   help="max rows to list")
     return parser
 
 
@@ -375,7 +427,177 @@ def _cmd_serve_batch(args) -> int:
         for key, value in health.items():
             shown = f"{value:.4f}" if isinstance(value, float) else value
             print(f"  {key:<22} {shown}")
+    if args.stats_json is not None:
+        _write_stats_json(args.stats_json, snap, health)
     return 0
+
+
+def _write_stats_json(path: Path, stats: dict, health: dict | None) -> None:
+    """Dump a machine-readable stats snapshot for external scrapers."""
+    import json
+    import time as _time
+
+    doc = {"captured_at": _time.time(), "stats": stats}
+    if health is not None:
+        doc["health"] = health
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"stats snapshot written to {path}")
+
+
+def _cmd_fleet_serve(args) -> int:
+    from .datasets.runs_io import load_runs
+    from .serving import (
+        CircuitBreaker,
+        EscalationQueue,
+        FleetService,
+        JobQueue,
+        ModelRegistry,
+        RegistryError,
+        RetryPolicy,
+        ServingError,
+    )
+
+    runs = load_runs(args.runs)
+    if args.limit is not None:
+        runs = runs[: args.limit]
+    jobs = JobQueue(args.jobs_db) if args.jobs_db is not None else None
+    escalation = (
+        EscalationQueue(store=jobs) if (args.escalate or jobs is not None)
+        else None
+    )
+    breaker_factory = (
+        (lambda: CircuitBreaker(failure_threshold=args.degrade_after))
+        if args.degrade_after is not None
+        else None
+    )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    fleet = FleetService(
+        ModelRegistry(args.registry),
+        n_shards=args.shards,
+        vnodes=args.vnodes,
+        escalation=escalation,
+        jobs=jobs,
+        max_batch=args.max_batch,
+        max_linger_s=args.linger_ms / 1000.0,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        retry=retry,
+        breaker_factory=breaker_factory,
+        watchdog_stall_s=args.stall_timeout_s,
+    )
+    try:
+        fleet.start(args.ref)
+    except RegistryError as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 2
+    failures: dict[str, int] = {}
+    with fleet:
+        print(f"fleet of {args.shards} shards serving "
+              f"{fleet.version.version_id}")
+        futures = [fleet.submit(run) for run in runs]
+        diagnoses = []
+        for f in futures:
+            try:
+                diagnoses.append(f.result())
+            except ServingError as exc:
+                kind = type(exc).__name__
+                failures[kind] = failures.get(kind, 0) + 1
+        health = fleet.health() if args.health else None
+        snap = fleet.stats_snapshot()
+    labels: dict[str, int] = {}
+    for d in diagnoses:
+        labels[d.label] = labels.get(d.label, 0) + 1
+    print(f"scored {len(diagnoses)} runs across {args.shards} shards")
+    for label, count in sorted(labels.items()):
+        print(f"  {label:<12} {count}")
+    for kind, count in sorted(failures.items()):
+        print(f"  [failed] {kind:<12} {count}")
+    fleet_stats = snap["fleet"]
+    print("fleet stats:")
+    for key in ("requests", "batches", "mean_batch_size",
+                "mean_batch_latency_s", "cache_hits", "escalations",
+                "retries", "deadline_drops", "watchdog_restarts",
+                "degraded_responses", "escalations_forced",
+                "escalations_refused"):
+        value = fleet_stats[key]
+        print(f"  {key:<22} {value:.4f}" if isinstance(value, float)
+              else f"  {key:<22} {value}")
+    print(f"  reroutes               {snap['reroutes']}")
+    print(f"  shard_deaths           {snap['shard_deaths']}")
+    per_shard = snap["per_shard"]
+    for name in sorted(per_shard):
+        s = per_shard[name]
+        print(f"  {name}: requests={s['requests']} batches={s['batches']} "
+              f"mean_batch={s['mean_batch_size']:.2f}")
+    if jobs is not None:
+        counts = jobs.counts()
+        print("job queue: " + "  ".join(
+            f"{state}={n}" for state, n in counts.items()))
+    if health is not None:
+        print("fleet health: "
+              f"live={health['live_shards']} down={health['down_shards']} "
+              f"version={health['version']}")
+    if args.stats_json is not None:
+        _write_stats_json(args.stats_json, snap, health)
+    return 0
+
+
+def _cmd_queue(args) -> int:
+    from .serving import JobQueue, JobQueueError, JobState
+
+    if args.action != "list" and args.db is not None and not args.db.exists():
+        print(f"no job queue database at {args.db}", file=sys.stderr)
+        return 2
+    queue = JobQueue(args.db)
+    try:
+        if args.action == "list":
+            counts = queue.counts()
+            print("  ".join(f"{state}={n}" for state, n in counts.items()))
+            jobs = queue.list_jobs(
+                state=args.state, kind=args.kind, limit=args.limit
+            )
+            for job in jobs:
+                err = f"  err={job.last_error}" if job.last_error else ""
+                print(f"{job.job_id:>6}  {job.state:<8} {job.kind:<16} "
+                      f"attempts={job.attempts}/{job.max_attempts}{err}")
+            return 0
+        if args.action == "inspect":
+            if args.job_id is None:
+                print("queue inspect requires --job-id", file=sys.stderr)
+                return 2
+            import json
+
+            job = queue.get(args.job_id)
+            doc = {
+                "job_id": job.job_id, "kind": job.kind, "state": job.state,
+                "attempts": job.attempts, "max_attempts": job.max_attempts,
+                "not_before": job.not_before, "claim_worker": job.claim_worker,
+                "visibility_deadline": job.visibility_deadline,
+                "created_at": job.created_at, "updated_at": job.updated_at,
+                "last_error": job.last_error,
+                "payload_keys": sorted(job.payload),
+            }
+            print(json.dumps(doc, indent=2))
+            return 0
+        if args.action == "requeue":
+            if args.job_id is None:
+                print("queue requeue requires --job-id", file=sys.stderr)
+                return 2
+            job = queue.requeue(args.job_id)
+            print(f"job {job.job_id} -> {job.state}")
+            return 0
+        # purge
+        states = (args.state,) if args.state else (JobState.DONE,)
+        removed = queue.purge(states)
+        print(f"purged {removed} jobs in state(s) {', '.join(states)}")
+        return 0
+    except (JobQueueError, ValueError) as exc:
+        print(f"queue error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        queue.close()
 
 
 _COMMANDS = {
@@ -386,13 +608,23 @@ _COMMANDS = {
     "info": _cmd_info,
     "registry": _cmd_registry,
     "serve-batch": _cmd_serve_batch,
+    "fleet-serve": _cmd_fleet_serve,
+    "queue": _cmd_queue,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro queue list | head`); not an error
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

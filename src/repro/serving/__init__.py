@@ -15,10 +15,28 @@ long-running serving path:
 * :mod:`repro.serving.reliability` — typed serving errors, retry policy,
   circuit breaker, and the dispatcher watchdog.
 * :mod:`repro.serving.stats` — service counters as a plain-dict snapshot.
+* :mod:`repro.serving.jobs` — durable SQLite-backed at-least-once job
+  queue (escalation and retrain orders survive process death).
+* :mod:`repro.serving.fleet` — consistent-hash shard router and the
+  ``FleetService`` pool for Eclipse-scale serving.
+* :mod:`repro.serving.replay` — deterministic 1488-node replay harness
+  and throughput/latency reporting.
 """
 
 from .engine import BackpressureError, MicroBatcher
 from .escalation import EscalationItem, EscalationQueue, apply_annotations
+from .fleet import FleetService, ShardRouter, process_one_retrain
+from .jobs import (
+    ESCALATION_KIND,
+    RETRAIN_KIND,
+    Job,
+    JobQueue,
+    JobQueueError,
+    JobState,
+    StaleClaimError,
+    escalation_payload,
+    item_from_payload,
+)
 from .registry import ModelRegistry, ModelVersion, RegistryError
 from .reliability import (
     FALLBACK_LABEL,
@@ -33,6 +51,14 @@ from .reliability import (
     fallback_diagnosis,
     is_fallback,
 )
+from .replay import (
+    ECLIPSE_NODES,
+    ReplayEvent,
+    ReplayReport,
+    ReplayStream,
+    fault_wrapper_factory,
+    replay,
+)
 from .service import DiagnosisService
 from .stats import ServiceStats
 
@@ -43,19 +69,37 @@ __all__ = [
     "DiagnosisService",
     "DispatcherRestarted",
     "DispatcherWatchdog",
+    "ECLIPSE_NODES",
+    "ESCALATION_KIND",
     "EngineClosedError",
     "EscalationItem",
     "EscalationQueue",
     "FALLBACK_LABEL",
+    "FleetService",
+    "Job",
+    "JobQueue",
+    "JobQueueError",
+    "JobState",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
     "PredictionMismatchError",
+    "RETRAIN_KIND",
     "RegistryError",
+    "ReplayEvent",
+    "ReplayReport",
+    "ReplayStream",
     "RetryPolicy",
     "ServiceStats",
     "ServingError",
+    "ShardRouter",
+    "StaleClaimError",
     "apply_annotations",
+    "escalation_payload",
     "fallback_diagnosis",
+    "fault_wrapper_factory",
     "is_fallback",
+    "item_from_payload",
+    "process_one_retrain",
+    "replay",
 ]

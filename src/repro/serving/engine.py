@@ -128,6 +128,10 @@ class MicroBatcher:
         self.stats = stats or ServiceStats()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._closed = threading.Event()
+        # serializes concurrent close() calls: exactly one performs the
+        # shutdown, the rest observe _closed and return (double-close is
+        # a documented no-op, not an error)
+        self._close_lock = threading.Lock()
         # _idle guards the accepted-but-unresolved request count plus the
         # in-flight batch table and dispatcher generation; flush() waits on it
         self._idle = threading.Condition()
@@ -231,40 +235,47 @@ class MicroBatcher:
         future (queued or stuck in flight) is failed with
         :class:`~repro.serving.reliability.EngineClosedError` instead of
         being abandoned.
+
+        Idempotent, including under concurrency: exactly one caller
+        performs the shutdown, every other (racing or repeat) call
+        returns once it has completed. Double-close is a no-op.
         """
-        if self._closed.is_set():
-            return
-        drained = True
-        try:
-            self.flush(timeout)
-        except TimeoutError:
-            drained = False
-        self._closed.set()
-        self._dispatcher.join(timeout if drained else 0.1)
-        # fail anything the dispatcher will never reach: items a racing
-        # submit() enqueued after the loop exited, plus (when the drain
-        # timed out) the batch wedged inside predict_fn
-        while True:
+        with self._close_lock:
+            if self._closed.is_set():
+                return
+            drained = True
             try:
-                req = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            self._resolve(
-                req,
-                exception=EngineClosedError(
-                    "engine closed before this request was scored"
-                ),
-            )
-        with self._idle:
-            stale = [req for batch, _ in self._inflight.values() for req in batch]
-            self._inflight.clear()
-        for req in stale:
-            self._resolve(
-                req,
-                exception=EngineClosedError(
-                    "engine closed while this request was in flight"
-                ),
-            )
+                self.flush(timeout)
+            except TimeoutError:
+                drained = False
+            self._closed.set()
+            self._dispatcher.join(timeout if drained else 0.1)
+            # fail anything the dispatcher will never reach: items a racing
+            # submit() enqueued after the loop exited, plus (when the drain
+            # timed out) the batch wedged inside predict_fn
+            while True:
+                try:
+                    req = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._resolve(
+                    req,
+                    exception=EngineClosedError(
+                        "engine closed before this request was scored"
+                    ),
+                )
+            with self._idle:
+                stale = [
+                    req for batch, _ in self._inflight.values() for req in batch
+                ]
+                self._inflight.clear()
+            for req in stale:
+                self._resolve(
+                    req,
+                    exception=EngineClosedError(
+                        "engine closed while this request was in flight"
+                    ),
+                )
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -27,6 +27,7 @@ from ..core.framework import ALBADross, Diagnosis
 from ..telemetry.collector import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .jobs import JobQueue
     from .registry import ModelRegistry, ModelVersion
 
 __all__ = ["EscalationItem", "EscalationQueue", "apply_annotations"]
@@ -54,19 +55,29 @@ class EscalationQueue:
         Queue bound; beyond it the *oldest* unserviced item is dropped
         (the annotator was never going to reach it anyway) and the drop is
         counted.
+    store:
+        Optional durable :class:`~repro.serving.jobs.JobQueue`. When set,
+        this in-memory queue becomes the *front-end*: offers still park
+        here (cheap, on the dispatcher thread), and
+        :meth:`flush_to_store` moves them into durable ``escalation``
+        jobs that survive a process crash. The fleet flushes on shard
+        death and at shutdown; callers may flush on any cadence.
     """
 
     def __init__(
         self,
         controller: ThresholdController | None = None,
         maxlen: int = 256,
+        store: "JobQueue | None" = None,
     ):
         if maxlen < 1:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self.controller = controller or ThresholdController()
+        self.store = store
         self._items: deque[EscalationItem] = deque(maxlen=maxlen)
         self.n_dropped = 0
         self.n_refused = 0
+        self.n_forced = 0
         # offer() runs on the engine's dispatcher thread while drain() runs
         # on whatever control thread owns the annotator; the controller
         # mutates on every offer, so the whole decision must be atomic
@@ -108,6 +119,7 @@ class EscalationQueue:
             if len(self._items) == self._items.maxlen:
                 self.n_refused += 1
                 return False
+            self.n_forced += 1
             self._items.append(
                 EscalationItem(
                     run=run,
@@ -117,6 +129,25 @@ class EscalationQueue:
                 )
             )
         return True
+
+    def flush_to_store(self, n: int | None = None) -> int:
+        """Drain up to ``n`` parked items into the durable job store.
+
+        Each item becomes one at-least-once ``escalation`` job (see
+        :mod:`repro.serving.jobs`); once enqueued it survives process
+        death and shard reroutes. Returns the number of jobs written.
+        Raises :class:`RuntimeError` when the queue was built without a
+        ``store``.
+        """
+        if self.store is None:
+            raise RuntimeError("escalation queue was built without a store")
+        from .jobs import ESCALATION_KIND, escalation_payload
+
+        flushed = 0
+        for item in self.drain(n):
+            self.store.enqueue(ESCALATION_KIND, escalation_payload(item))
+            flushed += 1
+        return flushed
 
     def drain(self, n: int | None = None) -> list[EscalationItem]:
         """Hand up to ``n`` items (oldest first) to the annotator."""

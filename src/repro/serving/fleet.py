@@ -1,0 +1,487 @@
+"""Sharded serving fleet: consistent-hash routing over engine shards.
+
+The paper's production target (Eclipse) is 1488 compute nodes emitting
+telemetry at 1 Hz; one micro-batcher dispatcher is a single point of
+failure and a single point of serialization. This module scales the
+:class:`~repro.serving.service.DiagnosisService` out:
+
+* a :class:`ShardRouter` consistently hashes ``node_id → shard`` over a
+  virtual-node ring, so each compute node's stream always lands on the
+  same shard (stable caches, stable batching locality) and a shard
+  failure remaps *only that shard's* nodes;
+* a :class:`FleetService` owns a pool of shards — each one a full
+  :class:`~repro.serving.service.DiagnosisService` with its own
+  :class:`~repro.serving.engine.MicroBatcher`, circuit breaker, and
+  dispatcher watchdog (the PR 3 reliability layer, replicated per
+  shard) — plus fleet-wide hot version swap via the registry ``CURRENT``
+  pointer, health probes, and automatic reroute when a shard dies;
+* shard death releases the shard's durable job leases immediately
+  (:meth:`~repro.serving.jobs.JobQueue.release`) instead of waiting out
+  the visibility timeout, and the shared escalation front-end keeps
+  collecting — no annotation request rides on any single shard's life.
+
+Routing never touches model math: every shard serves the same registry
+version, so fleet diagnoses are bit-identical to the single-engine path
+at any shard count (enforced by ``tests/serving/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Callable, Sequence
+
+from ..telemetry.collector import RunRecord
+from .escalation import EscalationQueue, apply_annotations
+from .jobs import (
+    ESCALATION_KIND,
+    RETRAIN_KIND,
+    JobQueue,
+    item_from_payload,
+)
+from .registry import ModelRegistry, ModelVersion
+from .reliability import CircuitBreaker, EngineClosedError, RetryPolicy
+from .service import DiagnosisService
+from .stats import ServiceStats
+
+__all__ = ["ShardRouter", "FleetService", "process_one_retrain"]
+
+
+def _ring_hash(value: str) -> int:
+    """Stable 64-bit ring position (sha256-derived, platform-independent)."""
+    return int.from_bytes(
+        hashlib.sha256(value.encode()).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping keys (node ids) to shard ids.
+
+    Each shard contributes ``vnodes`` points to the ring; a key routes to
+    the first shard point clockwise from its own hash. Marking a shard
+    down simply skips its points, so only the keys that hashed to the
+    dead shard move — the classic consistent-hashing property that keeps
+    per-shard caches warm through membership changes.
+    """
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = 64):
+        if not shard_ids:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shard_ids = list(shard_ids)
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in self.shard_ids:
+            for v in range(vnodes):
+                points.append((_ring_hash(f"shard-{shard}-vn{v}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, key: int | str, down: frozenset | set = frozenset()) -> int:
+        """The shard serving ``key``, skipping any shard in ``down``."""
+        if len(down) >= len(self.shard_ids):
+            raise EngineClosedError("no live shards to route to")
+        h = _ring_hash(str(key))
+        start = bisect.bisect_left(self._points, h)
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in down:
+                return owner
+        raise EngineClosedError("no live shards to route to")  # pragma: no cover
+
+    def assignments(
+        self, keys: Sequence[int | str], down: frozenset | set = frozenset()
+    ) -> dict:
+        """``{shard_id: [key, ...]}`` for a batch of keys (routing order)."""
+        out: dict[int, list] = {}
+        for key in keys:
+            out.setdefault(self.route(key, down), []).append(key)
+        return out
+
+
+class FleetService:
+    """A pool of diagnosis shards behind a consistent-hash router.
+
+    Parameters
+    ----------
+    registry:
+        Shared model registry; every shard serves the same ``CURRENT``
+        version and :meth:`refresh` swaps the whole fleet between
+        batches.
+    n_shards:
+        Pool size. Each shard is a full :class:`DiagnosisService` (own
+        micro-batcher, result cache, and — via the factories below — own
+        breaker and watchdog), sharing the registry, the escalation
+        front-end, and the durable job store.
+    escalation:
+        Optional shared :class:`EscalationQueue`. With ``jobs`` set and
+        no explicit queue, one is created with the job store attached.
+    jobs:
+        Optional durable :class:`~repro.serving.jobs.JobQueue`. Enables
+        :meth:`retrain_and_publish` through at-least-once jobs and
+        immediate lease release on shard death.
+    breaker_factory:
+        ``() -> CircuitBreaker`` built per shard (one shard tripping its
+        breaker must not degrade its siblings).
+    predict_wrapper_factory:
+        ``(shard_id) -> wrapper | None``; a returned wrapper decorates
+        that shard's batch scorer. The replay harness uses this to
+        fault-inject individual shards.
+    vnodes / max_batch / max_linger_s / queue_size / policy / cache_size
+    / default_deadline_s / retry / watchdog_stall_s:
+        As for :class:`ShardRouter` and :class:`DiagnosisService`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_shards: int = 4,
+        vnodes: int = 64,
+        escalation: EscalationQueue | None = None,
+        jobs: JobQueue | None = None,
+        max_batch: int = 32,
+        max_linger_s: float = 0.005,
+        queue_size: int = 1024,
+        policy: str = "block",
+        cache_size: int = 4096,
+        default_deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_factory: Callable[[], CircuitBreaker] | None = None,
+        watchdog_stall_s: float | None = None,
+        predict_wrapper_factory: Callable[[int], Callable | None] | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.registry = registry
+        self.jobs = jobs
+        if escalation is None and jobs is not None:
+            escalation = EscalationQueue(store=jobs)
+        self.escalation = escalation
+        self.router = ShardRouter(list(range(n_shards)), vnodes=vnodes)
+        self._down: set[int] = set()
+        self._lock = threading.Lock()
+        self._version: ModelVersion | None = None
+        self._started = False
+        self.reroutes = 0
+        self.shard_deaths = 0
+        self._shard_opts = dict(
+            max_batch=max_batch,
+            max_linger_s=max_linger_s,
+            queue_size=queue_size,
+            policy=policy,
+            cache_size=cache_size,
+            default_deadline_s=default_deadline_s,
+            retry=retry,
+            watchdog_stall_s=watchdog_stall_s,
+        )
+        self.shards: dict[int, DiagnosisService] = {}
+        for shard_id in range(n_shards):
+            breaker = breaker_factory() if breaker_factory else None
+            wrapper = (
+                predict_wrapper_factory(shard_id)
+                if predict_wrapper_factory
+                else None
+            )
+            self.shards[shard_id] = DiagnosisService(
+                registry,
+                escalation=escalation,
+                breaker=breaker,
+                predict_wrapper=wrapper,
+                **self._shard_opts,
+            )
+
+    # ------------------------------------------------------------------
+    def start(self, ref: str = "current") -> "FleetService":
+        """Warm-load every shard on the same registry version."""
+        for shard in self.shards.values():
+            shard.start(ref)
+        self._version = next(iter(self.shards.values())).version
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Flush escalations to the durable store, then stop every shard.
+
+        Idempotent: a second stop is a no-op (each shard's stop already
+        is, and the flush drains an already-empty queue).
+        """
+        if (
+            self.escalation is not None
+            and self.escalation.store is not None
+            and len(self.escalation) > 0
+        ):
+            self.escalation.flush_to_store()
+        for shard in self.shards.values():
+            shard.stop()
+        self._started = False
+
+    def __enter__(self) -> "FleetService":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def version(self) -> ModelVersion:
+        if self._version is None:
+            raise RuntimeError("fleet is not started")
+        return self._version
+
+    @property
+    def live_shards(self) -> list[int]:
+        with self._lock:
+            return [s for s in self.shards if s not in self._down]
+
+    @property
+    def down_shards(self) -> list[int]:
+        with self._lock:
+            return sorted(self._down)
+
+    def shard_name(self, shard_id: int) -> str:
+        """The worker name a shard claims durable jobs under."""
+        return f"shard-{shard_id}"
+
+    # ------------------------------------------------------------------
+    def shard_for(self, run: RunRecord) -> int:
+        """The shard this run's node routes to right now."""
+        with self._lock:
+            down = frozenset(self._down)
+        return self.router.route(run.node_id, down)
+
+    def submit(self, run: RunRecord, deadline_s: float | None = None):
+        """Route by ``node_id`` and submit; fail over when a shard dies.
+
+        A shard that refuses the submission (closed engine, dead
+        dispatcher) is marked down — its durable leases are released and
+        subsequent traffic reroutes around it — and the run is resubmitted
+        to the next live shard on the ring.
+        """
+        for _ in range(len(self.shards)):
+            shard_id = self.shard_for(run)
+            try:
+                return self.shards[shard_id].submit(run, deadline_s=deadline_s)
+            except (EngineClosedError, RuntimeError):
+                self.mark_down(shard_id)
+                with self._lock:
+                    self.reroutes += 1
+        raise EngineClosedError("no live shards accepted the run")
+
+    def diagnose(self, run: RunRecord):
+        return self.submit(run).result()
+
+    def diagnose_many(self, runs: Sequence[RunRecord]) -> list:
+        """Synchronous bulk path: fan out per shard, reassemble in order."""
+        with self._lock:
+            down = frozenset(self._down)
+        groups: dict[int, list[int]] = {}
+        for i, run in enumerate(runs):
+            groups.setdefault(self.router.route(run.node_id, down), []).append(i)
+        results: list = [None] * len(runs)
+        for shard_id, indices in groups.items():
+            out = self.shards[shard_id].diagnose_many([runs[i] for i in indices])
+            for i, diagnosis in zip(indices, out):
+                results[i] = diagnosis
+        return results
+
+    # ------------------------------------------------------------------
+    def mark_down(self, shard_id: int) -> None:
+        """Take a shard out of the ring and release its durable leases."""
+        with self._lock:
+            if shard_id in self._down:
+                return
+            self._down.add(shard_id)
+            self.shard_deaths += 1
+        self.shards[shard_id].stop()  # fails its pending futures, typed
+        if self.jobs is not None:
+            self.jobs.release(self.shard_name(shard_id))
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Restart a downed shard on the fleet's current version."""
+        with self._lock:
+            if shard_id not in self._down:
+                return
+        ref = self._version.version_id if self._version else "current"
+        self.shards[shard_id].start(ref)
+        with self._lock:
+            self._down.discard(shard_id)
+
+    def probe(self) -> list[int]:
+        """Health-sweep every live shard; mark dead ones down.
+
+        Returns the shard ids newly declared down. Call it from a control
+        loop (the replay harness does, between ticks) or rely on
+        :meth:`submit`'s on-error marking.
+        """
+        newly_down = []
+        for shard_id in self.live_shards:
+            if not self.shards[shard_id].ready():
+                self.mark_down(shard_id)
+                newly_down.append(shard_id)
+        return newly_down
+
+    def health(self) -> dict:
+        """Fleet liveness: per-shard probes plus ring and queue state."""
+        shard_health = {
+            self.shard_name(s): svc.health() for s, svc in self.shards.items()
+        }
+        doc = {
+            "started": self._started,
+            "n_shards": len(self.shards),
+            "live_shards": self.live_shards,
+            "down_shards": self.down_shards,
+            "reroutes": self.reroutes,
+            "shard_deaths": self.shard_deaths,
+            "version": self._version.version_id if self._version else None,
+            "shards": shard_health,
+            "escalation_depth": (
+                len(self.escalation) if self.escalation is not None else 0
+            ),
+        }
+        if self.jobs is not None:
+            doc["jobs"] = self.jobs.counts()
+        return doc
+
+    def ready(self) -> bool:
+        """At least one shard must be ready to accept traffic."""
+        return self._started and any(
+            self.shards[s].ready() for s in self.live_shards
+        )
+
+    def stats_snapshot(self) -> dict:
+        """Aggregated counters across shards plus per-shard snapshots."""
+        per_shard = {
+            self.shard_name(s): svc.stats.snapshot()
+            for s, svc in self.shards.items()
+        }
+        return {
+            "fleet": ServiceStats.merge(list(per_shard.values())),
+            "reroutes": self.reroutes,
+            "shard_deaths": self.shard_deaths,
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> bool:
+        """Fleet-wide hot swap: follow the registry ``CURRENT`` pointer."""
+        current = self.registry.current_id()
+        if current is None or (
+            self._version is not None and current == self._version.version_id
+        ):
+            return False
+        self.swap(current)
+        return True
+
+    def swap(self, ref: str) -> ModelVersion:
+        """Install one registry version on every live shard."""
+        version = None
+        for shard_id in self.live_shards:
+            version = self.shards[shard_id].swap(ref)
+        if version is None:  # every shard is down; resolve for bookkeeping
+            version = self.registry.resolve(ref)
+        self._version = version
+        return version
+
+    def retrain_and_publish(
+        self,
+        annotator: Callable,
+        tag: str | None = None,
+        max_items: int | None = None,
+        adopt: bool = True,
+    ) -> ModelVersion | None:
+        """Close the AL loop fleet-wide, durably when a job store exists.
+
+        With a :class:`JobQueue`: parked escalations flush to durable
+        ``escalation`` jobs, a ``retrain_publish`` job is enqueued, and
+        :func:`process_one_retrain` executes it at-least-once — a crash
+        anywhere before the final ack leaves every job claimable again.
+        Without one, this degrades to the single-service in-memory path.
+        """
+        if self.escalation is None:
+            raise RuntimeError("fleet was built without an escalation queue")
+        if self.jobs is None:
+            items = self.escalation.drain(max_items)
+            if not items:
+                return None
+            framework, _ = self.registry.load(
+                self._version.version_id if self._version else "current"
+            )
+            _, version = apply_annotations(
+                framework, items, annotator, registry=self.registry, tag=tag
+            )
+        else:
+            self.escalation.flush_to_store()
+            self.jobs.enqueue(RETRAIN_KIND, {"tag": tag})
+            version = process_one_retrain(
+                self.jobs,
+                self.registry,
+                annotator,
+                max_items=max_items,
+                worker="fleet-retrainer",
+            )
+        if version is not None and adopt:
+            self.swap(version.version_id)
+        return version
+
+
+# ----------------------------------------------------------------------
+def process_one_retrain(
+    jobs: JobQueue,
+    registry: ModelRegistry,
+    annotator: Callable,
+    max_items: int | None = None,
+    worker: str = "retrainer",
+) -> ModelVersion | None:
+    """Claim and execute one durable ``retrain_publish`` job.
+
+    The at-least-once worker loop body: claim the retrain order, claim
+    every deliverable ``escalation`` job, annotate and absorb them into
+    the current registry framework, publish, then ack everything. Any
+    exception nacks every claim, so a crash mid-cycle redelivers the
+    whole batch to the next worker — no annotation is lost, at the price
+    of possibly labeling a run twice (idempotent for a deterministic
+    annotator, since ``absorb`` refits from the accumulated label set).
+
+    Returns the published version, or ``None`` when there was no retrain
+    order (or no escalations to learn from — the order is acked as a
+    no-op).
+    """
+    orders = jobs.claim(kinds=(RETRAIN_KIND,), n=1, worker=worker)
+    if not orders:
+        return None
+    order = orders[0]
+    limit = max_items if max_items is not None else 1_000_000
+    claims = jobs.claim(kinds=(ESCALATION_KIND,), n=limit, worker=worker)
+    try:
+        items = [item_from_payload(job.payload) for job in claims]
+        if not items:
+            jobs.ack(order.job_id, order.claim_token)
+            return None
+        framework, _ = registry.load("current")
+        _, version = apply_annotations(
+            framework,
+            items,
+            annotator,
+            registry=registry,
+            tag=order.payload.get("tag"),
+        )
+        for job in claims:
+            jobs.ack(job.job_id, job.claim_token)
+        jobs.ack(order.job_id, order.claim_token)
+        return version
+    except BaseException as exc:
+        for job in claims:
+            try:
+                jobs.nack(job.job_id, job.claim_token, error=repr(exc))
+            except Exception:  # lease already lapsed; redelivery covers it
+                pass
+        try:
+            jobs.nack(order.job_id, order.claim_token, error=repr(exc))
+        except Exception:
+            pass
+        raise

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -91,29 +93,43 @@ class ModelRegistry:
     ) -> ModelVersion:
         """Freeze a trained framework as the next immutable version.
 
-        The version directory is staged under a temporary name and renamed
-        into place, so a crash mid-publish never leaves a half-written
-        version visible. With ``activate`` (the default) the ``CURRENT``
-        pointer flips to the new version afterwards.
+        The version directory is staged under a unique temporary name and
+        renamed into place, so a crash mid-publish never leaves a
+        half-written version visible. Concurrent publishers are safe:
+        each stages privately, and when two race to the same version id
+        the loser's rename fails (the winner's directory is non-empty),
+        so it re-numbers and renames again — both versions land, each
+        exactly once. With ``activate`` (the default) the ``CURRENT``
+        pointer flips to the new version afterwards (atomic replace; the
+        last racer wins the pointer, and it always names a valid
+        version).
         """
         manifest = build_manifest(framework)
         manifest["tag"] = tag
         manifest["created_at"] = time.time()
-        version_id = self._next_version_id()
-        staging = self.versions_dir / f".staging-{version_id}"
+        staging = self.versions_dir / f".staging-{uuid.uuid4().hex}"
         staging.mkdir(parents=True)
         try:
             save_framework(framework, staging / _MODEL_FILE)
             (staging / _MANIFEST_FILE).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True)
             )
-            final = self.versions_dir / version_id
-            os.rename(staging, final)
+            final = None
+            for _ in range(1000):
+                version_id = self._next_version_id()
+                candidate = self.versions_dir / version_id
+                try:
+                    os.rename(staging, candidate)
+                except OSError:
+                    # a concurrent publish took this id first (rename onto
+                    # a non-empty directory fails); re-number and retry
+                    continue
+                final = candidate
+                break
+            if final is None:  # pragma: no cover - requires 1000 racers
+                raise RegistryError("could not allocate a version id")
         except BaseException:
-            for leftover in staging.glob("*") if staging.exists() else []:
-                leftover.unlink()
-            if staging.exists():
-                staging.rmdir()
+            shutil.rmtree(staging, ignore_errors=True)
             raise
         version = ModelVersion(version_id=version_id, path=final, manifest=manifest)
         if activate:
@@ -206,8 +222,11 @@ class ModelRegistry:
         return f"v{(max(existing) + 1 if existing else 1):04d}"
 
     def _set_current(self, version_id: str) -> None:
-        # write-then-replace keeps the pointer atomic for concurrent readers
+        # write-then-replace keeps the pointer atomic for concurrent
+        # readers; the tmp name is unique per writer so two racing
+        # activations cannot replace each other's staging file out from
+        # under themselves — each replace lands whole, last one wins
         pointer = self.root / _POINTER_FILE
-        tmp = self.root / f".{_POINTER_FILE}.tmp"
+        tmp = self.root / f".{_POINTER_FILE}.{uuid.uuid4().hex}.tmp"
         tmp.write_text(version_id + "\n")
         os.replace(tmp, pointer)

@@ -71,6 +71,11 @@ class DiagnosisService:
         When set, :meth:`start` also starts a
         :class:`~repro.serving.reliability.DispatcherWatchdog` that fails
         and restarts a dispatch loop stuck longer than this many seconds.
+    predict_wrapper:
+        Optional decorator applied to the batch scorer before it is
+        handed to the engine — the chaos/replay hook: wrap this service's
+        predict path in a :class:`~repro.testing.faults.FaultInjector`
+        without touching the model. ``None`` (default) serves unwrapped.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class DiagnosisService:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         watchdog_stall_s: float | None = None,
+        predict_wrapper: Callable | None = None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -105,6 +111,7 @@ class DiagnosisService:
         self._engine: MicroBatcher | None = None
         self._watchdog: DispatcherWatchdog | None = None
         self._watchdog_stall_s = watchdog_stall_s
+        self._predict_wrapper = predict_wrapper
         self._engine_opts = dict(
             max_batch=max_batch,
             max_linger_s=max_linger_s,
@@ -119,8 +126,11 @@ class DiagnosisService:
         """Warm-load a registry version and start the dispatcher."""
         framework, version = self.registry.load(ref)
         self._framework, self._version = framework, version
+        predict = self._predict_batch
+        if self._predict_wrapper is not None:
+            predict = self._predict_wrapper(predict)
         self._engine = MicroBatcher(
-            self._predict_batch, stats=self.stats, **self._engine_opts
+            predict, stats=self.stats, **self._engine_opts
         )
         if self._watchdog_stall_s is not None:
             self._watchdog = DispatcherWatchdog(
@@ -129,7 +139,11 @@ class DiagnosisService:
         return self
 
     def stop(self) -> None:
-        """Drain in-flight requests and shut the engine down."""
+        """Drain in-flight requests and shut the engine down.
+
+        Idempotent: stopping a stopped (or never-started) service is a
+        no-op, so shutdown paths may overlap without errors.
+        """
         if self._watchdog is not None:
             self._watchdog.stop()
             self._watchdog = None
@@ -214,6 +228,17 @@ class DiagnosisService:
             "version": self._version.version_id if self._version else None,
             "escalation_depth": (
                 len(self.escalation) if self.escalation is not None else 0
+            ),
+            # operators need to see dropped/refused escalations: each one
+            # is an annotation request the AL loop silently lost
+            "escalation_dropped": (
+                self.escalation.n_dropped if self.escalation is not None else 0
+            ),
+            "escalation_refused": (
+                self.escalation.n_refused if self.escalation is not None else 0
+            ),
+            "escalation_forced": (
+                self.escalation.n_forced if self.escalation is not None else 0
             ),
         }
 
@@ -349,6 +374,9 @@ class DiagnosisService:
             for run, diagnosis in zip(runs, diagnoses):
                 if self.escalation.offer_forced(run, diagnosis):
                     self.stats.record_escalation()
+                    self.stats.record_forced_escalation()
+                else:
+                    self.stats.record_refused_escalation()
         return diagnoses
 
     def _offer_escalation(

@@ -38,6 +38,8 @@ class ServiceStats:
             self._deadline_drops = 0
             self._watchdog_restarts = 0
             self._degraded = 0
+            self._forced_escalations = 0
+            self._refused_escalations = 0
 
     # ------------------------------------------------------------------
     def record_request(self, n: int = 1) -> None:
@@ -76,6 +78,16 @@ class ServiceStats:
         with self._lock:
             self._degraded += n
 
+    def record_forced_escalation(self, n: int = 1) -> None:
+        """One degraded verdict escalated via the forced (non-adaptive) path."""
+        with self._lock:
+            self._forced_escalations += n
+
+    def record_refused_escalation(self, n: int = 1) -> None:
+        """One forced escalation the full queue refused — a lost annotation."""
+        with self._lock:
+            self._refused_escalations += n
+
     def record_batch(self, size: int, latency_s: float) -> None:
         """One dispatched micro-batch: its size and wall-clock latency."""
         with self._lock:
@@ -106,4 +118,51 @@ class ServiceStats:
                 "deadline_drops": self._deadline_drops,
                 "watchdog_restarts": self._watchdog_restarts,
                 "degraded_responses": self._degraded,
+                "escalations_forced": self._forced_escalations,
+                "escalations_refused": self._refused_escalations,
             }
+
+    @staticmethod
+    def merge(snapshots: list[dict]) -> dict:
+        """Aggregate several :meth:`snapshot` dicts (the fleet view).
+
+        Counters sum, histograms merge, means re-derive from the merged
+        totals, and the max latency is the max across shards.
+        """
+        merged = {
+            "requests": 0,
+            "cache_hits": 0,
+            "escalations": 0,
+            "batches": 0,
+            "batch_size_histogram": {},
+            "model_swaps": 0,
+            "retries": 0,
+            "deadline_drops": 0,
+            "watchdog_restarts": 0,
+            "degraded_responses": 0,
+            "escalations_forced": 0,
+            "escalations_refused": 0,
+        }
+        latency_sum = 0.0
+        latency_max = 0.0
+        for snap in snapshots:
+            for key in merged:
+                if key == "batch_size_histogram":
+                    for size, n in snap.get(key, {}).items():
+                        size = int(size)
+                        merged[key][size] = merged[key].get(size, 0) + n
+                else:
+                    merged[key] += snap.get(key, 0)
+            latency_sum += snap.get("mean_batch_latency_s", 0.0) * snap.get(
+                "batches", 0
+            )
+            latency_max = max(latency_max, snap.get("max_batch_latency_s", 0.0))
+        batches = merged["batches"]
+        scored = sum(s * n for s, n in merged["batch_size_histogram"].items())
+        merged["batch_size_histogram"] = dict(
+            sorted(merged["batch_size_histogram"].items())
+        )
+        merged["mean_batch_size"] = scored / batches if batches else 0.0
+        merged["mean_batch_latency_s"] = latency_sum / batches if batches else 0.0
+        merged["max_batch_latency_s"] = latency_max
+        return merged

@@ -146,3 +146,144 @@ class TestConsoleEntry:
     def test_console_script_declared(self):
         pyproject = (REPO / "pyproject.toml").read_text()
         assert 'repro = "repro.cli:main"' in pyproject
+
+
+class TestFleetServeCommand:
+    def test_fleet_serve_prints_fleet_stats(self, artifacts, capsys):
+        root = str(artifacts["root"])
+        main(["registry", "publish", "--root", root,
+              "--model", str(artifacts["model"])])
+        capsys.readouterr()
+        assert main([
+            "fleet-serve", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--shards", "3", "--max-batch", "8", "--linger-ms", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 3 shards serving v0001" in out
+        assert "scored" in out and "across 3 shards" in out
+        assert "reroutes" in out
+        assert "escalations_forced" in out
+        assert "shard-0:" in out and "shard-2:" in out
+
+    def test_fleet_serve_with_jobs_db_reports_queue(
+        self, artifacts, tmp_path, capsys
+    ):
+        root = str(artifacts["root"])
+        main(["registry", "publish", "--root", root,
+              "--model", str(artifacts["model"])])
+        capsys.readouterr()
+        db = tmp_path / "jobs.db"
+        assert main([
+            "fleet-serve", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--shards", "2", "--jobs-db", str(db), "--health",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert db.exists()
+        assert "job queue:" in out
+        assert "fleet health:" in out
+
+    def test_fleet_serve_on_empty_registry_fails_cleanly(
+        self, artifacts, tmp_path, capsys
+    ):
+        assert main([
+            "fleet-serve", "--registry", str(tmp_path / "nothing"),
+            "--runs", str(artifacts["archive"]),
+        ]) == 2
+        assert "registry error" in capsys.readouterr().err
+
+    def test_stats_json_written_by_both_serving_commands(
+        self, artifacts, tmp_path, capsys
+    ):
+        import json
+
+        root = str(artifacts["root"])
+        main(["registry", "publish", "--root", root,
+              "--model", str(artifacts["model"])])
+        capsys.readouterr()
+        batch_path = tmp_path / "serve.json"
+        fleet_path = tmp_path / "fleet.json"
+        assert main([
+            "serve-batch", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--health", "--stats-json", str(batch_path),
+        ]) == 0
+        assert main([
+            "fleet-serve", "--registry", root,
+            "--runs", str(artifacts["archive"]),
+            "--shards", "2", "--stats-json", str(fleet_path),
+        ]) == 0
+        capsys.readouterr()
+        batch_doc = json.loads(batch_path.read_text())
+        assert batch_doc["stats"]["requests"] > 0
+        assert batch_doc["health"]["dispatcher_alive"] is True
+        assert "captured_at" in batch_doc
+        fleet_doc = json.loads(fleet_path.read_text())
+        assert fleet_doc["stats"]["fleet"]["requests"] > 0
+        assert fleet_doc.get("health") is None  # --health not passed
+
+
+class TestQueueCommand:
+    @pytest.fixture()
+    def seeded_db(self, tmp_path):
+        from repro.serving.jobs import JobQueue
+
+        db = tmp_path / "jobs.db"
+        queue = JobQueue(db)
+        queue.enqueue("escalation", {"a": 1})
+        queue.enqueue("retrain_publish", {"tag": None})
+        (claimed,) = queue.claim(kinds=("escalation",), n=1, worker="w")
+        queue.nack(claimed.job_id, claimed.claim_token, error="boom")
+        queue.close()
+        return db
+
+    def test_list_shows_counts_and_rows(self, seeded_db, capsys):
+        assert main(["queue", "list", "--db", str(seeded_db)]) == 0
+        out = capsys.readouterr().out
+        assert "PENDING=1" in out and "FAILED=1" in out
+        assert "escalation" in out and "retrain_publish" in out
+        assert "err=boom" in out
+
+    def test_inspect_dumps_job_document(self, seeded_db, capsys):
+        import json
+
+        assert main([
+            "queue", "inspect", "--db", str(seeded_db), "--job-id", "1",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job_id"] == 1
+        assert doc["state"] == "FAILED"
+        assert doc["attempts"] == 1
+        assert doc["payload_keys"] == ["a"]
+
+    def test_requeue_resets_a_failed_job(self, seeded_db, capsys):
+        assert main([
+            "queue", "requeue", "--db", str(seeded_db), "--job-id", "1",
+        ]) == 0
+        assert "job 1 -> PENDING" in capsys.readouterr().out
+        main(["queue", "list", "--db", str(seeded_db)])
+        assert "PENDING=2" in capsys.readouterr().out
+
+    def test_purge_defaults_to_done(self, seeded_db, capsys):
+        from repro.serving.jobs import JobQueue
+
+        queue = JobQueue(seeded_db)
+        (job,) = queue.claim(kinds=("retrain_publish",), n=1, worker="w")
+        queue.ack(job.job_id, job.claim_token)
+        queue.close()
+        assert main(["queue", "purge", "--db", str(seeded_db)]) == 0
+        assert "purged 1 jobs" in capsys.readouterr().out
+
+    def test_missing_db_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "queue", "inspect", "--db", str(tmp_path / "none.db"),
+            "--job-id", "1",
+        ]) == 2
+        assert "no job queue database" in capsys.readouterr().err
+
+    def test_unknown_job_id_fails_cleanly(self, seeded_db, capsys):
+        assert main([
+            "queue", "inspect", "--db", str(seeded_db), "--job-id", "99",
+        ]) == 2
+        assert "queue error" in capsys.readouterr().err

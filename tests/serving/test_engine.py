@@ -218,3 +218,40 @@ class TestValidation:
     def test_bad_knobs_rejected(self, kwargs, match):
         with pytest.raises(ValueError, match=match):
             MicroBatcher(CountingModel(), **kwargs)
+
+
+class TestIdempotentClose:
+    def test_double_close_is_a_noop(self):
+        engine = MicroBatcher(CountingModel(), max_batch=4)
+        engine.close()
+        engine.close()  # second close must not raise or deadlock
+
+    def test_concurrent_close_from_many_threads(self):
+        """Racing closers must all return; the engine ends closed exactly
+        once (the close lock serializes the drain/join sequence)."""
+        model = CountingModel()
+        engine = MicroBatcher(model, max_batch=4, max_linger_s=0.01)
+        futures = [engine.submit(i) for i in range(8)]
+        threads = [
+            threading.Thread(target=engine.close) for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+            assert not t.is_alive()
+        # close drained the pending work before shutting down
+        assert all(f.result(timeout=5.0).label == "healthy" for f in futures)
+        with pytest.raises(EngineClosedError):
+            engine.submit(99)
+
+    def test_close_after_failed_batch_still_idempotent(self):
+        def exploding(runs):
+            raise RuntimeError("boom")
+
+        engine = MicroBatcher(exploding, max_batch=2, max_linger_s=0.01)
+        future = engine.submit(1)
+        with pytest.raises(RuntimeError):
+            future.result(timeout=5.0)
+        engine.close()
+        engine.close()

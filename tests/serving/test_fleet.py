@@ -1,0 +1,335 @@
+"""Sharded fleet: routing, parity, hot swap, and shard-death chaos.
+
+The two contracts that matter:
+
+* **routing must not change predictions** — fleet diagnoses are
+  bit-identical to the single-engine path for the same model version,
+  at any shard count;
+* **a dying shard loses nothing durable** — its pending futures fail
+  with typed errors, its traffic reroutes, and its claimed jobs
+  redeliver.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.escalation import EscalationQueue
+from repro.serving.fleet import FleetService, ShardRouter, process_one_retrain
+from repro.serving.jobs import (
+    ESCALATION_KIND,
+    RETRAIN_KIND,
+    JobQueue,
+    JobState,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.reliability import EngineClosedError, ServingError
+from repro.serving.service import DiagnosisService
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, trained):
+    reg = ModelRegistry(tmp_path_factory.mktemp("fleet-registry"))
+    reg.publish(trained, tag="fleet-base")
+    return reg
+
+
+class TestShardRouter:
+    def test_routing_is_deterministic_and_total(self):
+        router = ShardRouter([0, 1, 2, 3])
+        first = {node: router.route(node) for node in range(200)}
+        again = {node: router.route(node) for node in range(200)}
+        assert first == again
+        assert set(first.values()) <= {0, 1, 2, 3}
+
+    def test_every_shard_gets_work_at_eclipse_scale(self):
+        router = ShardRouter(list(range(8)))
+        owners = {router.route(node) for node in range(1488)}
+        assert owners == set(range(8))
+
+    def test_down_shard_moves_only_its_keys(self):
+        router = ShardRouter([0, 1, 2, 3])
+        before = {node: router.route(node) for node in range(500)}
+        dead = 2
+        after = {node: router.route(node, down={dead}) for node in range(500)}
+        for node in before:
+            if before[node] != dead:
+                assert after[node] == before[node]  # unaffected keys stay put
+            else:
+                assert after[node] != dead
+        assert dead not in set(after.values())
+
+    def test_all_down_raises(self):
+        router = ShardRouter([0, 1])
+        with pytest.raises(EngineClosedError):
+            router.route(7, down={0, 1})
+
+    def test_assignments_groups_in_order(self):
+        router = ShardRouter([0, 1])
+        groups = router.assignments(list(range(20)))
+        flat = sorted(k for keys in groups.values() for k in keys)
+        assert flat == list(range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter([])
+        with pytest.raises(ValueError):
+            ShardRouter([0], vnodes=0)
+
+
+class TestFleetParity:
+    """Acceptance: identical diagnoses across shard counts ∈ {1, 4, 8}."""
+
+    def test_fleet_matches_single_engine_bit_for_bit(self, registry, corpus):
+        runs = corpus["holdout"]
+        with DiagnosisService(registry, cache_size=0) as single:
+            reference = single.diagnose_many(runs)
+        for n_shards in (1, 4, 8):
+            fleet = FleetService(registry, n_shards=n_shards, cache_size=0)
+            with fleet:
+                via_submit = [f.result() for f in
+                              [fleet.submit(r) for r in runs]]
+                via_bulk = fleet.diagnose_many(runs)
+            for got in (via_submit, via_bulk):
+                assert [d.label for d in got] == [d.label for d in reference]
+                # confidences must be *identical*, not merely close
+                assert [d.confidence for d in got] == [
+                    d.confidence for d in reference
+                ], f"confidence drift at n_shards={n_shards}"
+
+    def test_same_node_always_lands_on_same_shard(self, registry, corpus):
+        fleet = FleetService(registry, n_shards=4)
+        run = corpus["holdout"][0]
+        shards = {fleet.shard_for(run) for _ in range(10)}
+        assert len(shards) == 1
+
+
+class TestFleetLifecycle:
+    def test_health_and_stats_aggregate_across_shards(self, registry, corpus):
+        fleet = FleetService(registry, n_shards=3, cache_size=0)
+        with fleet:
+            fleet.diagnose_many(corpus["holdout"])
+            health = fleet.health()
+            snap = fleet.stats_snapshot()
+        assert health["n_shards"] == 3
+        assert health["live_shards"] == [0, 1, 2]
+        assert health["down_shards"] == []
+        assert len(health["shards"]) == 3
+        assert snap["fleet"]["requests"] == len(corpus["holdout"])
+        per_shard_requests = sum(
+            s["requests"] for s in snap["per_shard"].values()
+        )
+        assert per_shard_requests == len(corpus["holdout"])
+
+    def test_fleet_wide_hot_swap(self, registry, trained, corpus):
+        fleet = FleetService(registry, n_shards=2)
+        with fleet:
+            v_old = fleet.version.version_id
+            assert fleet.refresh() is False  # pointer unmoved
+            new = registry.publish(trained, tag="swap-target")
+            assert fleet.refresh() is True
+            assert fleet.version.version_id == new.version_id
+            for shard in fleet.shards.values():
+                assert shard.version.version_id == new.version_id
+            assert fleet.version.version_id != v_old
+
+    def test_stop_is_idempotent(self, registry):
+        fleet = FleetService(registry, n_shards=2)
+        fleet.start()
+        fleet.stop()
+        fleet.stop()  # second stop must be a no-op
+        assert not fleet.ready()
+
+
+class TestShardDeath:
+    def test_dead_shard_reroutes_traffic(self, registry, corpus):
+        runs = corpus["holdout"]
+        fleet = FleetService(registry, n_shards=4, cache_size=0)
+        with DiagnosisService(registry, cache_size=0) as single:
+            reference = single.diagnose_many(runs)
+        with fleet:
+            victim = fleet.shard_for(runs[0])
+            fleet.shards[victim].stop()  # the shard dies out from under us
+            assert fleet.probe() == [victim]
+            assert victim in fleet.down_shards
+            # every run still scores, identically, via the surviving shards
+            got = [f.result() for f in [fleet.submit(r) for r in runs]]
+            assert [d.label for d in got] == [d.label for d in reference]
+            assert [d.confidence for d in got] == [
+                d.confidence for d in reference
+            ]
+            assert fleet.shard_for(runs[0]) != victim
+
+    def test_submit_fails_over_without_probe(self, registry, corpus):
+        run = corpus["holdout"][0]
+        fleet = FleetService(registry, n_shards=4, cache_size=0)
+        with fleet:
+            victim = fleet.shard_for(run)
+            fleet.shards[victim].stop()
+            diagnosis = fleet.submit(run).result()  # reroutes inline
+            assert diagnosis.label
+            assert victim in fleet.down_shards
+            assert fleet.reroutes >= 1
+
+    def test_dead_shard_releases_claimed_jobs(self, registry, tmp_path):
+        jobs = JobQueue(tmp_path / "jobs.db", visibility_timeout_s=3600.0)
+        for i in range(3):
+            jobs.enqueue(ESCALATION_KIND, {"n": i})
+        fleet = FleetService(registry, n_shards=2, jobs=jobs)
+        with fleet:
+            victim = 0
+            claimed = jobs.claim(n=2, worker=fleet.shard_name(victim))
+            assert len(claimed) == 2
+            fleet.mark_down(victim)
+            # leases broken immediately — not after the 1h visibility timeout
+            counts = jobs.counts()
+            assert counts[JobState.CLAIMED] == 0
+            assert counts[JobState.PENDING] == 3
+        jobs.close()
+
+    def test_all_shards_down_raises_typed_error(self, registry, corpus):
+        fleet = FleetService(registry, n_shards=2)
+        with fleet:
+            for shard in fleet.shards.values():
+                shard.stop()
+            fleet.probe()
+            with pytest.raises(EngineClosedError):
+                fleet.submit(corpus["holdout"][0])
+            assert not fleet.ready()
+
+    def test_revive_returns_shard_to_ring(self, registry, corpus):
+        run = corpus["holdout"][0]
+        fleet = FleetService(registry, n_shards=2, cache_size=0)
+        with fleet:
+            victim = fleet.shard_for(run)
+            fleet.mark_down(victim)
+            assert fleet.shard_for(run) != victim
+            fleet.revive_shard(victim)
+            assert victim not in fleet.down_shards
+            assert fleet.shard_for(run) == victim
+            assert fleet.submit(run).result().label  # serves again
+
+
+class TestDurableRetrain:
+    def test_escalations_flow_to_store_and_retrain_publishes(
+        self, registry, corpus, tmp_path
+    ):
+        jobs = JobQueue(tmp_path / "jobs.db")
+        fleet = FleetService(registry, n_shards=2, jobs=jobs, cache_size=0)
+        runs = corpus["pool"][:6]
+        with fleet:
+            v_before = fleet.version.version_id
+            diagnoses = fleet.diagnose_many(runs)
+            # discard whatever the adaptive controller escalated on its
+            # own, then force-escalate exactly these runs so the durable
+            # counts below are deterministic
+            fleet.escalation.drain()
+            for run, diagnosis in zip(runs, diagnoses):
+                fleet.escalation.offer_forced(run, diagnosis)
+            assert len(fleet.escalation) == len(runs)
+            version = fleet.retrain_and_publish(
+                lambda item: item.run.label, tag="durable-retrain"
+            )
+            assert version is not None
+            assert fleet.version.version_id == version.version_id
+            assert version.version_id != v_before
+        # every escalation job and the retrain order are DONE; nothing stuck
+        counts = jobs.counts()
+        assert counts[JobState.DONE] == len(runs) + 1
+        assert counts[JobState.CLAIMED] == 0
+        assert counts[JobState.PENDING] == 0
+        jobs.close()
+
+    def test_crashed_annotator_redelivers_the_whole_cycle(
+        self, registry, corpus, tmp_path
+    ):
+        jobs = JobQueue(
+            tmp_path / "jobs.db", backoff_base_s=0.0, max_attempts=5
+        )
+        fleet = FleetService(registry, n_shards=1, jobs=jobs, cache_size=0)
+        runs = corpus["pool"][:3]
+        with fleet:
+            diagnoses = fleet.diagnose_many(runs)
+            fleet.escalation.drain()
+            for run, diagnosis in zip(runs, diagnoses):
+                fleet.escalation.offer_forced(run, diagnosis)
+
+            def crashing_annotator(item):
+                raise RuntimeError("annotator died mid-cycle")
+
+            with pytest.raises(RuntimeError):
+                fleet.retrain_and_publish(crashing_annotator)
+            # nothing was acked: all jobs are redeliverable, none DONE
+            counts = jobs.counts()
+            assert counts[JobState.DONE] == 0
+            assert (
+                counts[JobState.PENDING] + counts[JobState.FAILED]
+                == len(runs) + 1
+            )
+            # the retry (a healthy worker) completes the identical cycle
+            version = process_one_retrain(
+                jobs, registry, lambda item: item.run.label
+            )
+            assert version is not None
+            counts = jobs.counts()
+            assert counts[JobState.DONE] == len(runs) + 1
+        jobs.close()
+
+    def test_retrain_without_jobs_uses_in_memory_path(self, registry, corpus):
+        fleet = FleetService(
+            registry, n_shards=2, escalation=EscalationQueue(), cache_size=0
+        )
+        runs = corpus["pool"][:4]
+        with fleet:
+            for run, diagnosis in zip(runs, fleet.diagnose_many(runs)):
+                fleet.escalation.offer_forced(run, diagnosis)
+            version = fleet.retrain_and_publish(lambda item: item.run.label)
+            assert version is not None
+            assert fleet.version.version_id == version.version_id
+
+    def test_process_one_retrain_with_no_order_is_noop(self, registry, tmp_path):
+        jobs = JobQueue(tmp_path / "jobs.db")
+        assert process_one_retrain(jobs, registry, lambda i: "x") is None
+        jobs.close()
+
+    def test_retrain_order_with_no_escalations_acks_as_noop(
+        self, registry, tmp_path
+    ):
+        jobs = JobQueue(tmp_path / "jobs.db")
+        jobs.enqueue(RETRAIN_KIND, {"tag": None})
+        assert process_one_retrain(jobs, registry, lambda i: "x") is None
+        assert jobs.counts()[JobState.DONE] == 1
+        jobs.close()
+
+
+class TestChaosUnderLoad:
+    def test_shard_killed_mid_stream_loses_no_future(self, registry, corpus):
+        """Kill a shard while requests are in flight: every future resolves
+        (diagnosis or typed ServingError) — the engine invariant holds
+        fleet-wide."""
+        runs = corpus["holdout"] * 3
+        fleet = FleetService(
+            registry, n_shards=4, cache_size=0, max_linger_s=0.02
+        )
+        with fleet:
+            victim = fleet.shard_for(runs[0])
+            futures = []
+            killer = threading.Thread(
+                target=lambda: fleet.mark_down(victim)
+            )
+            for i, run in enumerate(runs):
+                futures.append(fleet.submit(run))
+                if i == len(runs) // 3:
+                    killer.start()
+            killer.join(10.0)
+            resolved_ok, resolved_err = 0, 0
+            for f in futures:
+                try:
+                    assert f.result(timeout=10.0).label
+                    resolved_ok += 1
+                except ServingError:
+                    resolved_err += 1
+            assert resolved_ok + resolved_err == len(futures)
+            assert resolved_ok > 0  # the survivors kept serving

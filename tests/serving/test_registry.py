@@ -130,3 +130,87 @@ class TestPointer:
             p for p in registry.versions_dir.iterdir() if p.name.startswith(".")
         ]
         assert leftovers == []
+
+
+class TestConcurrentWriters:
+    """Satellite: two writers racing on the atomic CURRENT pointer must
+    leave the registry with exactly one valid, loadable current version."""
+
+    def test_racing_publishers_get_distinct_versions(self, trained, tmp_path):
+        import threading
+
+        registry = ModelRegistry(tmp_path / "reg")
+        results: list = [None] * 4
+        barrier = threading.Barrier(4)
+
+        def publisher(slot: int) -> None:
+            barrier.wait()
+            results[slot] = registry.publish(trained, tag=f"racer-{slot}")
+
+        threads = [
+            threading.Thread(target=publisher, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+            assert not t.is_alive()
+        ids = [v.version_id for v in results]
+        assert len(set(ids)) == 4  # no publisher stole another's slot
+        assert sorted(ids) == ["v0001", "v0002", "v0003", "v0004"]
+        # CURRENT points at exactly one of the published versions...
+        current = registry.current_id()
+        assert current in ids
+        # ...which loads cleanly, as does every other version
+        for version_id in ids:
+            fw, _ = registry.load(version_id)
+            assert fw.model is not None
+        # and the race left no staging or tmp litter behind
+        litter = [
+            p.name
+            for p in registry.versions_dir.iterdir()
+            if p.name.startswith(".")
+        ]
+        assert litter == []
+
+    def test_publish_racing_rollback_keeps_pointer_valid(
+        self, trained, tmp_path
+    ):
+        import threading
+
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(trained, tag="old")
+        registry.publish(trained, tag="newer")
+        barrier = threading.Barrier(2)
+        errors: list = []
+
+        def publish():
+            barrier.wait()
+            try:
+                registry.publish(trained, tag="raced")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def rollback():
+            barrier.wait()
+            try:
+                registry.rollback()
+            except RegistryError:
+                pass  # acceptable: the race can move the pointer first
+
+        threads = [
+            threading.Thread(target=publish),
+            threading.Thread(target=rollback),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+            assert not t.is_alive()
+        assert not errors
+        # whichever writer won, the pointer names a loadable version
+        current = registry.current_id()
+        assert current is not None
+        fw, version = registry.load("current")
+        assert version.version_id == current
+        assert fw.model is not None

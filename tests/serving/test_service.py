@@ -138,3 +138,58 @@ class TestHotSwap:
             assert service.refresh() is True
             assert service.version.version_id == "v0001"
             assert service.diagnose(corpus["pool"][0]).label
+
+
+class TestShutdownIdempotency:
+    def test_stop_twice_is_a_noop(self, registry):
+        service = DiagnosisService(registry)
+        service.start()
+        service.stop()
+        service.stop()  # must not raise
+        assert not service.ready()
+
+    def test_stop_without_start_is_a_noop(self, registry):
+        DiagnosisService(registry).stop()
+
+    def test_concurrent_stop_callers_all_return(self, registry, corpus):
+        import threading
+
+        service = DiagnosisService(registry)
+        service.start()
+        service.diagnose_many(corpus["holdout"][:4])
+        threads = [threading.Thread(target=service.stop) for _ in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+            assert not t.is_alive()
+        assert not service.ready()
+
+    def test_restart_after_stop_serves_again(self, registry, corpus):
+        service = DiagnosisService(registry)
+        service.start()
+        service.stop()
+        service.start()
+        try:
+            assert service.diagnose(corpus["holdout"][0]).label
+        finally:
+            service.stop()
+
+
+class TestEscalationVisibility:
+    def test_health_surfaces_escalation_pressure_counters(self, registry):
+        from repro.serving.escalation import EscalationQueue
+
+        service = DiagnosisService(
+            registry, escalation=EscalationQueue(maxlen=4)
+        )
+        with service:
+            health = service.health()
+        assert health["escalation_dropped"] == 0
+        assert health["escalation_refused"] == 0
+        assert health["escalation_forced"] == 0
+
+    def test_stats_surface_forced_and_refused_escalations(self, registry):
+        snap = DiagnosisService(registry).stats.snapshot()
+        assert snap["escalations_forced"] == 0
+        assert snap["escalations_refused"] == 0
