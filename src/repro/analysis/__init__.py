@@ -1,0 +1,47 @@
+"""Invariant-enforcing static analysis for the repro codebase.
+
+The repo's hard-won invariants — bit-identical determinism at any
+``n_jobs``, every wait bounded, lock discipline in the serving stack —
+are cheap to violate in review and expensive to debug in production.
+This package machine-checks them: an AST-walking :class:`Checker`
+framework with per-file context, inline ``# repro-lint: disable=RULE``
+suppressions, path-scoped rule configuration, a committed-baseline
+mechanism for grandfathered findings, and five concrete checkers:
+
+* :mod:`repro.analysis.determinism` — no module-level RNG, no wall-clock
+  reads, no argless ``default_rng()`` in the deterministic packages;
+* :mod:`repro.analysis.bounded_waits` — no ``.result()`` / ``.join()`` /
+  ``.get()`` / ``.acquire()`` / ``.wait()`` without a timeout in serving;
+* :mod:`repro.analysis.lock_discipline` — no bare ``acquire()``, no
+  unbounded blocking inside a lock body, no lock-order cycles;
+* :mod:`repro.analysis.lifecycle` — threads daemonized or joined, SQLite
+  connections closed, persistence writes atomic (tmp + ``os.replace``);
+* :mod:`repro.analysis.hygiene` — no silently swallowed exceptions.
+
+Run it as ``repro lint`` (see :mod:`repro.cli`) or programmatically via
+:func:`repro.analysis.runner.run_lint`.
+"""
+
+from .base import Checker, FileContext, Finding
+from .baseline import diff_baseline, load_baseline, write_baseline
+from .rules import RULES, RuleSpec, rules_for_path
+from .runner import all_checkers, format_findings, lint_source, run_lint
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "RULES",
+    "RuleSpec",
+    "Suppression",
+    "all_checkers",
+    "diff_baseline",
+    "format_findings",
+    "lint_source",
+    "load_baseline",
+    "parse_suppressions",
+    "rules_for_path",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""Committed-baseline mechanism: new findings fail, grandfathered ones ride.
+
+A baseline file is a JSON list of finding records. Matching is by
+``(rule, path, message)`` with *counts* — line numbers drift with every
+edit, so they are recorded for humans but ignored for matching. If a
+file has two grandfathered ``EH001``\\ s and an edit adds a third, the
+third fails CI even though the first two still pass.
+
+Workflow: ``repro lint --baseline lint_baseline.json`` fails only on
+non-baselined findings; ``repro lint --write-baseline`` regenerates the
+file from the current findings (shrinking it as debt is paid down is
+the expected direction).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from .base import Finding
+
+__all__ = ["load_baseline", "write_baseline", "diff_baseline"]
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    """Parse a baseline file back into findings (empty file = no debt)."""
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path} must be a JSON list")
+    out = []
+    for entry in raw:
+        out.append(
+            Finding(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                line=int(entry.get("line", 0)),
+                message=str(entry["message"]),
+            )
+        )
+    return out
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Persist findings as the new baseline (atomic, sorted, stable)."""
+    doc = [f.to_dict() for f in sorted(findings)]
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    import os
+
+    os.replace(tmp, target)
+
+
+def diff_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against a baseline.
+
+    Returns the findings that are NOT covered by the baseline (these
+    fail CI) and the ones it absorbs. Coverage is per-key count: a
+    baseline entry absorbs at most as many findings as it has records.
+    """
+    budget = Counter(f.key() for f in baseline)
+    fresh: list[Finding] = []
+    absorbed: list[Finding] = []
+    for finding in sorted(findings):
+        if budget[finding.key()] > 0:
+            budget[finding.key()] -= 1
+            absorbed.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

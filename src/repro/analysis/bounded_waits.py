@@ -1,0 +1,57 @@
+"""Bounded-waits checker: no wait in serving may block forever.
+
+PR 3 established the serving invariant that **every accepted future
+resolves** and every wait is bounded — a wedged ``predict_fn`` must cost
+a timeout, not a hung caller. The example-based chaos tests enforce it
+for the paths they exercise; **BW001** enforces it for every call site:
+
+    ``.result()``, ``.join()``, ``.get()``, ``.acquire()``, ``.wait()``
+
+called with *no arguments at all* is an unbounded wait on a Future,
+Thread, Queue, Lock/Semaphore, Event, Condition, or Barrier. Passing any
+argument (positional timeout or ``timeout=``) satisfies the rule; APIs
+where the first argument is not a timeout (``dict.get(key)``,
+``", ".join(parts)``) therefore never trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding
+
+__all__ = ["BoundedWaitsChecker", "UNBOUNDED_WAIT_METHODS"]
+
+UNBOUNDED_WAIT_METHODS = ("result", "join", "get", "acquire", "wait")
+
+
+def is_unbounded_wait(node: ast.AST) -> bool:
+    """A zero-argument call of one of the blocking method names."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in UNBOUNDED_WAIT_METHODS
+        and not node.args
+        and not node.keywords
+    )
+
+
+class BoundedWaitsChecker(Checker):
+    name = "bounded-waits"
+    rules = ("BW001",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if is_unbounded_wait(node):
+                assert isinstance(node, ast.Call)  # narrow for type checkers
+                attr = node.func.attr  # type: ignore[union-attr]
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule="BW001",
+                    message=(
+                        f"unbounded .{attr}() — pass a timeout so a wedged "
+                        "peer costs a bounded wait, not a hung caller"
+                    ),
+                )

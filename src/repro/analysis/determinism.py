@@ -1,0 +1,114 @@
+"""Determinism checker: seeds flow through parameters, never globals.
+
+The reproduction's central claim (bit-identical corpora, forests, and
+query sequences at any ``n_jobs``) only holds while every random draw
+comes from an explicitly threaded ``numpy.random.Generator`` /
+``SeedSequence`` and every timestamp from an injectable clock. Three
+rules:
+
+* **DET001** — calls on the *module-level* RNGs: ``np.random.rand(...)``,
+  ``np.random.seed(...)``, ``random.random()``, ``random.shuffle(...)``
+  and friends. These share hidden global state across callers and
+  workers; two processes interleave differently and the bytes diverge.
+* **DET002** — ``time.time()`` / ``time.time_ns()`` calls. Wall-clock
+  reads make outputs (manifests, fingerprint inputs) unreproducible;
+  inject a ``clock``/``time_fn`` parameter instead (referencing
+  ``time.time`` as a *default value* is fine — that is the structural
+  whitelist the registry uses).
+* **DET003** — argless ``np.random.default_rng()`` /
+  ``np.random.SeedSequence()`` / ``random.Random()``: fresh OS entropy,
+  nondeterministic by construction. Seeded forms are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["DeterminismChecker"]
+
+# numpy.random attributes that are legitimate, parameterized constructors
+# rather than draws on the shared global BitGenerator
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+# stdlib `random` module attributes that construct independent instances
+_PY_RANDOM_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+
+_WALL_CLOCKS = {"time.time", "time.time_ns"}
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = ("DET001", "DET002", "DET003")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            finding = self._classify(dotted, node, ctx)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, dotted: str, node: ast.Call, ctx: FileContext
+    ) -> Finding | None:
+        argless = not node.args and not node.keywords
+        parts = dotted.split(".")
+        if dotted in _WALL_CLOCKS:
+            return self._finding(
+                ctx, node, "DET002",
+                f"wall-clock read {dotted}(); inject a clock parameter "
+                "(default it to time.time) so callers can replay",
+            )
+        # np.random.<fn>(...) — module-level numpy RNG
+        if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in ("np", "numpy"):
+            fn = parts[-1]
+            if fn not in _NP_RANDOM_OK:
+                return self._finding(
+                    ctx, node, "DET001",
+                    f"module-level numpy RNG call {dotted}(); draw from an "
+                    "explicitly threaded np.random.Generator instead",
+                )
+            if argless and fn in ("default_rng", "SeedSequence"):
+                return self._finding(
+                    ctx, node, "DET003",
+                    f"argless {dotted}() seeds from OS entropy; pass a seed "
+                    "or SeedSequence derived from the caller's stream",
+                )
+            return None
+        # random.<fn>(...) — stdlib global RNG
+        if len(parts) == 2 and parts[0] == "random":
+            fn = parts[1]
+            if fn not in _PY_RANDOM_OK:
+                return self._finding(
+                    ctx, node, "DET001",
+                    f"global stdlib RNG call {dotted}(); use a seeded "
+                    "random.Random(seed) instance instead",
+                )
+            if argless and fn == "Random":
+                return self._finding(
+                    ctx, node, "DET003",
+                    "argless random.Random() seeds from OS entropy; pass "
+                    "an explicit seed",
+                )
+        return None
+
+    def _finding(
+        self, ctx: FileContext, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        return Finding(path=ctx.path, line=node.lineno, rule=rule, message=message)

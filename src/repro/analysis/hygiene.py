@@ -1,0 +1,114 @@
+"""Exception-hygiene checker: failures must leave a trace.
+
+**EH001** flags an ``except`` handler that *swallows*: a bare
+``except:`` or broad ``except Exception/BaseException`` whose body
+neither re-raises, nor logs (``logging``/``warnings``/``print``/stats
+``record_*`` counters), nor does any real handling work. The archetypal
+offender is ``except Exception: pass`` — the failure vanishes and the
+operator debugs a ghost.
+
+A handler passes when it:
+
+* contains a ``raise`` (re-raise or translate),
+* calls anything that records the event — logger methods, ``print``,
+  ``warnings.warn``, ``pytest.fail``, ``record_*``/``escalate*``
+  counters — anywhere in its body, or
+* performs substantive handling: statements beyond ``pass`` /
+  docstrings / bare ``continue`` (e.g. counting the failure into a
+  report, falling back to a default) count as escalation, because the
+  outcome is visible to the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding, dotted_name
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = {"Exception", "BaseException"}
+_TRACE_CALLS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "print",
+    "fail",
+    "print_exc",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        dotted = dotted_name(t)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD:
+            return True
+    return False
+
+
+def _traces(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name is not None and (
+                    name in _TRACE_CALLS
+                    or name.startswith("record_")
+                    or name.startswith("escalate")
+                ):
+                    return True
+    return False
+
+
+def _is_trivial(body: list[ast.stmt]) -> bool:
+    """Only pass / docstring-constants / continue: nothing happened."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+class ExceptionHygieneChecker(Checker):
+    name = "exception-hygiene"
+    rules = ("EH001",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _traces(node.body):
+                continue
+            if not _is_trivial(node.body):
+                continue  # substantive handling counts as escalation
+            what = "bare except" if node.type is None else "broad except"
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                rule="EH001",
+                message=(
+                    f"{what} swallows the failure silently — log it, "
+                    "escalate it, re-raise, or narrow the exception type"
+                ),
+            )

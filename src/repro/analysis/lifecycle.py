@@ -1,0 +1,189 @@
+"""Resource-lifecycle checker: threads, connections, and torn writes.
+
+* **RL001** — every ``threading.Thread(...)`` must either be daemonized
+  (``daemon=True`` at construction, or a ``.daemon = True`` assignment
+  in the same file) or reachably joined (a ``.join(...)`` call somewhere
+  in the file). A forgotten non-daemon thread hangs interpreter
+  shutdown; the check is lexical and file-local on purpose — it asks for
+  *evidence* of a shutdown story, not a proof.
+* **RL002** — a ``sqlite3.connect(...)`` result must be context-managed
+  (``with``/``closing``) or closed: the file must contain a
+  ``.close()`` call. Unclosed WAL connections pin ``-wal``/``-shm``
+  sidecar files and leak file descriptors under churn.
+* **RL003** — persistence writes must be atomic: ``open(path, "w"/"wb")``
+  and ``Path.write_text/write_bytes`` are flagged unless the target name
+  is a staging name (contains ``tmp`` or ``staging``) or the enclosing
+  function performs the rename half of the pattern (``os.replace`` /
+  ``os.rename``). A reader racing a direct overwrite sees a torn file;
+  the registry's CURRENT pointer and the experiment cache both already
+  stage-and-replace, and this rule keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding, dotted_name, walk_with_ancestors
+
+__all__ = ["ResourceLifecycleChecker"]
+
+_STAGING_HINTS = ("tmp", "temp", "staging", "scratch")
+_WRITE_MODES = {"w", "wb", "w+", "wb+", "w+b"}
+
+
+def _has_call_attr(tree: ast.AST, attr: str) -> bool:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr
+        ):
+            return True
+    return False
+
+
+def _sets_daemon_true(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant) and node.value.value is True
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and target.attr == "daemon":
+                return True
+    return False
+
+
+class ResourceLifecycleChecker(Checker):
+    name = "resource-lifecycle"
+    rules = ("RL001", "RL002", "RL003")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        file_has_join = _has_call_attr(ctx.tree, "join")
+        file_has_close = _has_call_attr(ctx.tree, "close")
+        file_daemon_assign = _sets_daemon_true(ctx.tree)
+        for node, ancestors in walk_with_ancestors(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted in ("threading.Thread", "Thread"):
+                if self._daemon_kwarg(node) or file_daemon_assign or file_has_join:
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule="RL001",
+                    message=(
+                        "Thread is neither daemonized nor joined anywhere in "
+                        "this file — give it daemon=True or a bounded join"
+                    ),
+                )
+            elif dotted == "sqlite3.connect":
+                if self._in_with(node, ancestors) or file_has_close:
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule="RL002",
+                    message=(
+                        "sqlite3.connect(...) is never closed in this file — "
+                        "context-manage it or close() it on shutdown"
+                    ),
+                )
+            else:
+                yield from self._check_write(node, ancestors, ctx)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _daemon_kwarg(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if (
+                kw.arg == "daemon"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _in_with(node: ast.Call, ancestors: tuple[ast.AST, ...]) -> bool:
+        for anc in ancestors:
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    for sub in ast.walk(item.context_expr):
+                        if sub is node:
+                            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _check_write(
+        self, node: ast.Call, ancestors: tuple[ast.AST, ...], ctx: FileContext
+    ) -> Iterable[Finding]:
+        target: str | None = None
+        kind: str | None = None
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in ("write_text", "write_bytes"):
+                target = dotted_name(node.func.value)
+                kind = attr
+            elif attr == "open" and self._write_mode(node):
+                target = dotted_name(node.func.value)
+                kind = "open(..w..)"
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            if self._write_mode(node):
+                target = dotted_name(node.args[0]) if node.args else None
+                kind = "open(..w..)"
+        if kind is None:
+            return
+        if target is not None and any(
+            hint in target.lower() for hint in _STAGING_HINTS
+        ):
+            return
+        if self._function_replaces(ancestors):
+            return
+        yield Finding(
+            path=ctx.path,
+            line=node.lineno,
+            rule="RL003",
+            message=(
+                f"non-atomic {kind} on "
+                f"{target or '<expr>'} — write to a temp name and "
+                "os.replace() it into place"
+            ),
+        )
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> bool:
+        mode: ast.AST | None = None
+        # Path.open(mode=...) / open(path, mode): mode is the second
+        # positional for the builtin, first for the method form
+        if isinstance(node.func, ast.Attribute):
+            if node.args:
+                mode = node.args[0]
+        elif len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        return (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and mode.value in _WRITE_MODES
+        )
+
+    @staticmethod
+    def _function_replaces(ancestors: tuple[ast.AST, ...]) -> bool:
+        """The enclosing function completes the stage-and-rename pattern."""
+        for anc in reversed(ancestors):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(anc):
+                    if isinstance(sub, ast.Call) and dotted_name(sub.func) in (
+                        "os.replace",
+                        "os.rename",
+                    ):
+                        return True
+                return False
+        return False

@@ -1,0 +1,272 @@
+"""Lock-discipline checker: serving locks stay small, ordered, and safe.
+
+Three rules over ``repro.serving``:
+
+* **LD001** — a bare ``.acquire()`` whose release is not structurally
+  guaranteed: the call must be the context expression of a ``with``
+  statement, or sit inside a ``try`` whose ``finally`` releases the same
+  lock. Anything else leaks the lock on the first exception.
+* **LD002** — an *unbounded* blocking call lexically inside a lock body:
+  zero-argument ``.result()/.join()/.get()/.acquire()/.wait()`` or any
+  ``time.sleep(...)`` while a lock is held turns one slow peer into a
+  pile-up of every other lock user. Bounded waits (an explicit timeout)
+  are allowed — e.g. the engine's close path joining its dispatcher
+  under the close lock with a deadline.
+* **LD003** — lock-acquisition-order cycles. The checker builds a static
+  lock graph across every file it sees: nesting ``with b:`` inside
+  ``with a:`` adds edge ``a -> b``, and a ``self.method()`` call under a
+  lock adds edges to every lock that method takes (one call hop). A
+  cycle — including a self-edge, since ``threading.Lock`` is not
+  reentrant — means two code paths can take the same locks in opposite
+  order and deadlock.
+
+A "lock" is identified by name: the last attribute segment contains
+``lock``, ``mutex``, or ``sem``. Condition variables (``self._idle``)
+deliberately do not match — waiting on a condition *inside* its ``with``
+is the correct pattern, not a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Iterable
+
+from .base import Checker, FileContext, Finding, dotted_name, walk_with_ancestors
+from .bounded_waits import is_unbounded_wait
+
+__all__ = ["LockDisciplineChecker", "is_lockish"]
+
+
+def is_lockish(dotted: str | None) -> bool:
+    if not dotted:
+        return False
+    last = dotted.split(".")[-1].lower()
+    return any(hint in last for hint in ("lock", "mutex", "sem"))
+
+
+def _lock_id(dotted: str, cls: str | None, module: str) -> str:
+    """Stable graph-node id: class-qualified for ``self.*`` locks."""
+    parts = dotted.split(".")
+    if parts[0] == "self" and cls is not None:
+        return f"{cls}.{'.'.join(parts[1:])}"
+    return f"{module}:{dotted}"
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rules = ("LD001", "LD002", "LD003")
+
+    def __init__(self) -> None:
+        # (src_lock, dst_lock) -> first site, for deterministic reports
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+        # deferred one-hop call edges: (held_lock, cls, method, site)
+        self._call_edges: list[tuple[str, str | None, str, tuple[str, int]]] = []
+        # (cls, method) -> locks that method takes anywhere in its body
+        self._method_locks: dict[tuple[str | None, str], set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        module = ctx.path.rsplit("/", 1)[-1].removesuffix(".py")
+        yield from self._check_bare_acquire(ctx)
+        findings: list[Finding] = []
+        self._scan(ctx.tree, ctx, module, cls=None, fn=None, held=(), out=findings)
+        yield from findings
+
+    # ------------------------------------------------------------------
+    # LD001
+    def _check_bare_acquire(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, ancestors in walk_with_ancestors(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                continue
+            base = dotted_name(node.func.value)
+            if self._is_with_context(node, ancestors):
+                continue
+            if base is not None and self._released_in_finally(base, ancestors):
+                continue
+            yield Finding(
+                path=ctx.path,
+                line=node.lineno,
+                rule="LD001",
+                message=(
+                    f"bare {base or '<expr>'}.acquire() — use `with` or a "
+                    "try/finally release so an exception cannot leak the lock"
+                ),
+            )
+
+    @staticmethod
+    def _is_with_context(node: ast.Call, ancestors: tuple[ast.AST, ...]) -> bool:
+        for anc in ancestors:
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    if item.context_expr is node:
+                        return True
+        return False
+
+    @staticmethod
+    def _released_in_finally(base: str, ancestors: tuple[ast.AST, ...]) -> bool:
+        """A ``finally`` in the enclosing function releases the same lock.
+
+        Covers both shapes: ``acquire()`` inside the ``try`` body, and the
+        canonical ``acquire(); try: ... finally: release()`` where the
+        acquire is the statement *preceding* the try.
+        """
+        scope: ast.AST | None = None
+        for anc in reversed(ancestors):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = anc
+                break
+        if scope is None and ancestors:
+            scope = ancestors[0]  # module level
+        if scope is None:
+            return False
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and dotted_name(sub.func.value) == base
+                    ):
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # LD002 + graph collection for LD003
+    def _scan(
+        self,
+        node: ast.AST,
+        ctx: FileContext,
+        module: str,
+        cls: str | None,
+        fn: str | None,
+        held: tuple[str, ...],
+        out: list[Finding],
+    ) -> None:
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                self._scan(child, ctx, module, node.name, None, (), out)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested function body does not run under the enclosing lock
+            for child in node.body:
+                self._scan(child, ctx, module, cls, node.name, (), out)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            new_locks: list[str] = []
+            for item in node.items:
+                self._scan(item.context_expr, ctx, module, cls, fn, held, out)
+                dotted = dotted_name(item.context_expr)
+                if is_lockish(dotted):
+                    assert dotted is not None
+                    lock = _lock_id(dotted, cls, module)
+                    site = (ctx.path, item.context_expr.lineno)
+                    inner = (held + tuple(new_locks))
+                    if inner:
+                        self._edges.setdefault((inner[-1], lock), site)
+                    if fn is not None:
+                        self._method_locks[(cls, fn)].add(lock)
+                    new_locks.append(lock)
+            held = held + tuple(new_locks)
+            for child in node.body:
+                self._scan(child, ctx, module, cls, fn, held, out)
+            return
+        if held and isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if is_unbounded_wait(node) or dotted == "time.sleep":
+                what = dotted
+                if what is None and isinstance(node.func, ast.Attribute):
+                    what = f"<expr>.{node.func.attr}"
+                out.append(
+                    Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        rule="LD002",
+                        message=(
+                            f"unbounded blocking call {what}(...) while "
+                            f"holding {held[-1]} — move it outside the lock "
+                            "or bound it with a timeout"
+                        ),
+                    )
+                )
+            if (
+                dotted is not None
+                and dotted.startswith("self.")
+                and dotted.count(".") == 1
+            ):
+                self._call_edges.append(
+                    (held[-1], cls, dotted.split(".", 1)[1], (ctx.path, node.lineno))
+                )
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, ctx, module, cls, fn, held, out)
+
+    # ------------------------------------------------------------------
+    # LD003: resolve call edges, then hunt cycles
+    def finalize(self) -> Iterable[Finding]:
+        edges = dict(self._edges)
+        for held, cls, method, site in self._call_edges:
+            for lock in sorted(self._method_locks.get((cls, method), ())):
+                edges.setdefault((held, lock), site)
+        adjacency: dict[str, list[str]] = defaultdict(list)
+        for src, dst in sorted(edges):
+            adjacency[src].append(dst)
+        seen_cycles: set[tuple[str, ...]] = set()
+        for cycle in _find_cycles(adjacency):
+            canon = _canonical(cycle)
+            if canon in seen_cycles:
+                continue
+            seen_cycles.add(canon)
+            closing = (cycle[-1], cycle[0])
+            path, line = edges.get(closing) or next(
+                site
+                for (s, d), site in sorted(edges.items())
+                if s in cycle and d in cycle
+            )
+            yield Finding(
+                path=path,
+                line=line,
+                rule="LD003",
+                message=(
+                    "lock-order cycle: "
+                    + " -> ".join(cycle + (cycle[0],))
+                    + " — two paths can interleave these acquisitions "
+                    "and deadlock"
+                ),
+            )
+
+
+def _find_cycles(adjacency: dict[str, list[str]]) -> list[tuple[str, ...]]:
+    """Elementary cycles via DFS with an explicit stack (small graphs)."""
+    cycles: list[tuple[str, ...]] = []
+
+    def dfs(start: str, node: str, path: tuple[str, ...]) -> None:
+        for nxt in adjacency.get(node, ()):  # sorted at insertion
+            if nxt == start:
+                cycles.append(path)
+            elif nxt not in path and nxt > start:
+                # only explore nodes after `start` so each cycle is found
+                # exactly once, from its smallest node
+                dfs(start, nxt, path + (nxt,))
+
+    for start in sorted(adjacency):
+        # self-edge: re-acquiring a non-reentrant lock deadlocks outright
+        if start in adjacency.get(start, ()):
+            cycles.append((start,))
+        dfs(start, start, (start,))
+    return cycles
+
+
+def _canonical(cycle: tuple[str, ...]) -> tuple[str, ...]:
+    if not cycle:
+        return cycle
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]

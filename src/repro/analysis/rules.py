@@ -1,0 +1,134 @@
+"""Rule catalog and path-scoped configuration.
+
+Every rule carries its default scope: the repo-relative path prefixes
+(after stripping a leading ``src/``) it applies to. Scoping is the
+difference between a useful invariant checker and a noise generator —
+``time.time()`` is a bug in the deterministic data plane and perfectly
+fine in a CLI stats dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuleSpec", "RULES", "rules_for_path", "DETERMINISM_SCOPE"]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One rule: id, human summary, and the path prefixes it covers."""
+
+    rule: str
+    summary: str
+    scopes: tuple[str, ...]
+
+    def applies_to(self, rel_path: str) -> bool:
+        path = rel_path[4:] if rel_path.startswith("src/") else rel_path
+        for prefix in self.scopes:
+            clean = prefix.rstrip("/")
+            if path == clean or path.startswith(clean + "/"):
+                return True
+            # file-granular scopes ("repro/core/persistence.py")
+            if clean.endswith(".py") and path == clean:
+                return True
+        return False
+
+
+# The packages whose outputs must be bit-identical for a given seed at
+# any n_jobs (PRs 4-5) plus the serving stack, whose registry manifests
+# and retry jitter must flow through injectable clocks / seeded streams.
+DETERMINISM_SCOPE = (
+    "repro/datasets",
+    "repro/mlcore",
+    "repro/features",
+    "repro/telemetry",
+    "repro/active",
+    "repro/serving",
+)
+
+_SERVING_SCOPE = ("repro/serving", "tests/serving")
+
+_PERSISTENCE_SCOPE = (
+    "repro/core/persistence.py",
+    "repro/datasets/runs_io.py",
+    "repro/experiments",
+    "repro/serving",
+)
+
+RULES: dict[str, RuleSpec] = {
+    spec.rule: spec
+    for spec in (
+        RuleSpec(
+            "DET001",
+            "module-level RNG call (np.random.* / random.*): seeds must "
+            "flow through Generator/SeedSequence parameters",
+            DETERMINISM_SCOPE,
+        ),
+        RuleSpec(
+            "DET002",
+            "wall-clock read (time.time()): inject a clock parameter "
+            "instead so behavior is replayable",
+            DETERMINISM_SCOPE,
+        ),
+        RuleSpec(
+            "DET003",
+            "unseeded RNG construction (argless default_rng()/SeedSequence()"
+            "/Random()): nondeterministic by construction",
+            DETERMINISM_SCOPE,
+        ),
+        RuleSpec(
+            "BW001",
+            "unbounded wait (.result()/.join()/.get()/.acquire()/.wait() "
+            "without a timeout): every wait in serving must be bounded",
+            _SERVING_SCOPE,
+        ),
+        RuleSpec(
+            "LD001",
+            "bare .acquire() outside a with-statement or try/finally "
+            "release: leaks the lock on any exception",
+            ("repro/serving",),
+        ),
+        RuleSpec(
+            "LD002",
+            "unbounded blocking call lexically inside a lock body: "
+            "serializes (or deadlocks) every other lock user",
+            ("repro/serving",),
+        ),
+        RuleSpec(
+            "LD003",
+            "lock-acquisition-order cycle: two code paths taking the same "
+            "locks in opposite order can deadlock",
+            ("repro/serving",),
+        ),
+        RuleSpec(
+            "RL001",
+            "thread neither daemonized nor joined: leaks a non-daemon "
+            "thread that can hang interpreter shutdown",
+            ("repro", "tests"),
+        ),
+        RuleSpec(
+            "RL002",
+            "sqlite3.connect result neither closed nor context-managed",
+            ("repro", "tests"),
+        ),
+        RuleSpec(
+            "RL003",
+            "non-atomic persistence write: write to a temp name and "
+            "os.replace() into place so readers never see a torn file",
+            _PERSISTENCE_SCOPE,
+        ),
+        RuleSpec(
+            "EH001",
+            "swallowed exception (bare/broad except with no logging, "
+            "escalation, or re-raise): failures must leave a trace",
+            ("repro",),
+        ),
+    )
+}
+
+
+def rules_for_path(rel_path: str) -> frozenset[str]:
+    """The rule ids whose scope covers ``rel_path``."""
+    return frozenset(
+        rule for rule, spec in RULES.items() if spec.applies_to(rel_path)
+    )

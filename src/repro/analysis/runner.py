@@ -1,0 +1,187 @@
+"""Lint runner: walk files, scope rules, apply suppressions, report.
+
+The orchestration layer behind ``repro lint``: collects ``.py`` files,
+builds a :class:`~repro.analysis.base.FileContext` per file, runs every
+checker, filters each finding by the path-scoped rule configuration and
+the file's inline suppressions, subtracts the baseline, and formats the
+survivors as text or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Checker, FileContext, Finding
+from .baseline import diff_baseline, load_baseline
+from .bounded_waits import BoundedWaitsChecker
+from .determinism import DeterminismChecker
+from .hygiene import ExceptionHygieneChecker
+from .lifecycle import ResourceLifecycleChecker
+from .lock_discipline import LockDisciplineChecker
+from .rules import RULES, rules_for_path
+
+__all__ = [
+    "all_checkers",
+    "collect_files",
+    "lint_source",
+    "run_lint",
+    "format_findings",
+]
+
+_SKIP_DIRS = {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "node_modules"}
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh checker instances (the lock checker is stateful per run)."""
+    return [
+        DeterminismChecker(),
+        BoundedWaitsChecker(),
+        LockDisciplineChecker(),
+        ResourceLifecycleChecker(),
+        ExceptionHygieneChecker(),
+    ]
+
+
+def collect_files(paths: Sequence[str | Path], root: str | Path) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    root = Path(root)
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_file() and p.suffix == ".py":
+            out.add(p)
+        elif p.is_dir():
+            for sub in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def _rel_path(file_path: Path, root: Path) -> str:
+    try:
+        rel = file_path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = file_path
+    return rel.as_posix()
+
+
+def _filter(
+    findings: Iterable[Finding],
+    contexts: dict[str, FileContext],
+    rules: frozenset[str] | None,
+) -> list[Finding]:
+    """Scope + suppression + rule-selection filter, in one place."""
+    kept: list[Finding] = []
+    for finding in findings:
+        if rules is not None and finding.rule not in rules:
+            continue
+        if finding.rule not in rules_for_path(finding.path):
+            continue
+        ctx = contexts.get(finding.path)
+        if ctx is not None and ctx.is_suppressed(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    root: str | Path = ".",
+    rules: Sequence[str] | None = None,
+    baseline: str | Path | None = None,
+    checkers: Sequence[Checker] | None = None,
+) -> dict:
+    """Lint ``paths`` and return a report dict.
+
+    Keys: ``findings`` (non-baselined, the ones that should fail CI),
+    ``baselined`` (absorbed by the baseline), ``files`` (count checked),
+    ``errors`` (files that failed to parse — these are reported, not
+    silently skipped).
+    """
+    root = Path(root)
+    selected = frozenset(rules) if rules is not None else None
+    if selected is not None:
+        unknown = selected - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+    active = list(checkers) if checkers is not None else all_checkers()
+    contexts: dict[str, FileContext] = {}
+    raw: list[Finding] = []
+    errors: list[dict] = []
+    for file_path in collect_files(paths, root):
+        rel = _rel_path(file_path, root)
+        try:
+            ctx = FileContext.from_file(file_path, rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append({"path": rel, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        contexts[rel] = ctx
+        for checker in active:
+            raw.extend(checker.check_file(ctx))
+    for checker in active:
+        raw.extend(checker.finalize())
+    findings = _filter(raw, contexts, selected)
+    absorbed: list[Finding] = []
+    if baseline is not None and Path(baseline).exists():
+        findings, absorbed = diff_baseline(findings, load_baseline(baseline))
+    return {
+        "findings": sorted(findings),
+        "baselined": absorbed,
+        "files": len(contexts),
+        "errors": errors,
+    }
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules: Sequence[str] | None = None,
+    checkers: Sequence[Checker] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory snippet as if it lived at ``rel_path``.
+
+    The fixture-test entry point: scoping, suppressions, and the
+    stateful finalize pass all behave exactly as in :func:`run_lint`.
+    """
+    ctx = FileContext.from_source(source, rel_path)
+    active = list(checkers) if checkers is not None else all_checkers()
+    raw: list[Finding] = []
+    for checker in active:
+        raw.extend(checker.check_file(ctx))
+    for checker in active:
+        raw.extend(checker.finalize())
+    selected = frozenset(rules) if rules is not None else None
+    return _filter(raw, {rel_path: ctx}, selected)
+
+
+def format_findings(report: dict, fmt: str = "text") -> str:
+    """Render a :func:`run_lint` report for humans (text) or machines (json)."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in report["findings"]],
+                "baselined": [f.to_dict() for f in report["baselined"]],
+                "files": report["files"],
+                "errors": report["errors"],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines: list[str] = []
+    for finding in report["findings"]:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        )
+    for err in report["errors"]:
+        lines.append(f"{err['path']}: ERROR {err['error']}")
+    n = len(report["findings"])
+    lines.append(
+        f"{n} finding{'s' if n != 1 else ''} "
+        f"({len(report['baselined'])} baselined) "
+        f"in {report['files']} files"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Inline suppression comments: ``# repro-lint: disable=RULE -- why``.
+
+A finding is suppressed when the physical line it is reported on carries
+a disable comment naming its rule (or ``all``). The text after ``--`` is
+the justification; the convention in this repo is that a suppression
+without one does not survive review, and :func:`parse_suppressions`
+records it so tooling can audit.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One disable comment: the rules it names and its justification."""
+
+    line: int
+    rules: frozenset[str] = field(default_factory=frozenset)
+    justification: str = ""
+
+    def covers(self, rule: str) -> bool:
+        return "all" in self.rules or rule in self.rules
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Map physical line number -> :class:`Suppression` for one file.
+
+    Uses :mod:`tokenize` so disable markers inside string literals are
+    ignored — only real comments suppress.
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+            if not rules:
+                continue
+            line = tok.start[0]
+            out[line] = Suppression(
+                line=line,
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+            )
+    except tokenize.TokenError:
+        pass  # unterminated source; the AST parse will surface the error
+    return out

@@ -154,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the aggregated fleet stats snapshot "
                         "(plus health) to this path for scraping")
 
+    p = sub.add_parser(
+        "lint",
+        help="run the invariant-enforcing static analysis suite",
+    )
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files/directories to lint (default: src and tests "
+                        "under the current directory)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   dest="fmt", help="report format")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--baseline", type=Path, default=None,
+                   help="baseline JSON; grandfathered findings there do not "
+                        "fail the run")
+    p.add_argument("--write-baseline", type=Path, default=None,
+                   help="write the current findings to this baseline file "
+                        "and exit 0")
+
     p = sub.add_parser("queue", help="operate the durable job queue")
     p.add_argument("action", choices=("list", "inspect", "requeue", "purge"))
     p.add_argument("--db", type=Path, required=True,
@@ -600,6 +618,27 @@ def _cmd_queue(args) -> int:
         queue.close()
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import format_findings, run_lint, write_baseline
+
+    paths = args.paths or ["src", "tests"]
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = run_lint(paths, root=".", rules=rules, baseline=args.baseline)
+    except ValueError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        findings = report["findings"] + report["baselined"]
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} findings to {args.write_baseline}")
+        return 0
+    print(format_findings(report, args.fmt))
+    return 1 if (report["findings"] or report["errors"]) else 0
+
+
 _COMMANDS = {
     "collect": _cmd_collect,
     "train": _cmd_train,
@@ -610,6 +649,7 @@ _COMMANDS = {
     "serve-batch": _cmd_serve_batch,
     "fleet-serve": _cmd_fleet_serve,
     "queue": _cmd_queue,
+    "lint": _cmd_lint,
 }
 
 

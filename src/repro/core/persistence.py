@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -36,7 +37,12 @@ FORMAT_VERSION = 1
 
 
 def save_framework(framework: ALBADross, path: str | Path) -> Path:
-    """Pickle a trained framework to ``path`` (created/overwritten)."""
+    """Pickle a trained framework to ``path`` (created/overwritten).
+
+    The write is atomic: the payload is staged next to the target and
+    renamed into place, so a reader (or a crash) never observes a
+    half-written model file.
+    """
     if framework.model is None:
         raise ValueError("refusing to save an untrained framework")
     path = Path(path)
@@ -45,8 +51,10 @@ def save_framework(framework: ALBADross, path: str | Path) -> Path:
         "config": framework.config,
         "framework": framework,
     }
-    with path.open("wb") as fh:
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
     return path
 
 

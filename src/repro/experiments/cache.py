@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Callable
@@ -50,6 +51,8 @@ __all__ = [
 
 _META_KEYS = ("labels", "apps", "input_decks", "intensities", "node_counts")
 _FORMAT_VERSION = 2
+
+_LOG = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -188,8 +191,8 @@ def get_or_build(
         ds = None
         try:
             ds = load_dataset(path)
-        except Exception:
-            pass  # corrupt entry: rebuild below
+        except Exception as exc:
+            _LOG.warning("corrupt cache entry %s (%s); rebuilding", path, exc)
         if ds is not None:
             recorded = _read_manifest(cache_dir).get(name, {}).get("fingerprint")
             actual = dataset_fingerprint(ds)
@@ -254,8 +257,8 @@ def cached_selection(
                 selector.support_ = support
                 selector.n_features_in_ = X.shape[1]
                 return selector
-        except Exception:
-            pass  # corrupt entry: refit below
+        except Exception as exc:
+            _LOG.warning("corrupt selector cache %s (%s); refitting", path, exc)
         path.unlink()
     selector = SelectKBest(k=k).fit(X, y)
     cache_dir.mkdir(parents=True, exist_ok=True)

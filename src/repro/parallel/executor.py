@@ -115,5 +115,5 @@ class Executor:
     def __del__(self):  # best-effort: never leak worker processes
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=EH001 -- interpreter may be tearing down; logging here can itself raise
             pass

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import logging
 import threading
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Callable, Sequence
 
 from ..telemetry.collector import RunRecord
@@ -41,11 +43,19 @@ from .jobs import (
     item_from_payload,
 )
 from .registry import ModelRegistry, ModelVersion
-from .reliability import CircuitBreaker, EngineClosedError, RetryPolicy
+from .reliability import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    EngineClosedError,
+    RetryPolicy,
+    sync_wait_s,
+)
 from .service import DiagnosisService
 from .stats import ServiceStats
 
 __all__ = ["ShardRouter", "FleetService", "process_one_retrain"]
+
+_LOG = logging.getLogger(__name__)
 
 
 def _ring_hash(value: str) -> int:
@@ -272,8 +282,25 @@ class FleetService:
                     self.reroutes += 1
         raise EngineClosedError("no live shards accepted the run")
 
-    def diagnose(self, run: RunRecord):
-        return self.submit(run).result()
+    def diagnose(self, run: RunRecord, timeout_s: float | None = None):
+        """Synchronous routed scoring with a bounded wait.
+
+        Mirrors :meth:`DiagnosisService.diagnose`: the timeout derives
+        from the fleet-wide ``default_deadline_s`` (plus grace) unless
+        overridden, and expiry raises
+        :class:`~repro.serving.reliability.DeadlineExceeded`.
+        """
+        wait_s = sync_wait_s(
+            timeout_s, self._shard_opts.get("default_deadline_s")
+        )
+        future = self.submit(run)
+        try:
+            return future.result(timeout=wait_s)
+        except FuturesTimeout:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"diagnose() result did not arrive within {wait_s:.1f}s"
+            ) from None
 
     def diagnose_many(self, runs: Sequence[RunRecord]) -> list:
         """Synchronous bulk path: fan out per shard, reassemble in order."""
@@ -478,10 +505,12 @@ def process_one_retrain(
         for job in claims:
             try:
                 jobs.nack(job.job_id, job.claim_token, error=repr(exc))
-            except Exception:  # lease already lapsed; redelivery covers it
-                pass
+            except Exception:
+                # Lease already lapsed; redelivery covers the job itself,
+                # but leave a trace so operators can correlate the churn.
+                _LOG.debug("nack failed for %s; lease lapsed", job.job_id)
         try:
             jobs.nack(order.job_id, order.claim_token, error=repr(exc))
         except Exception:
-            pass
+            _LOG.debug("nack failed for order %s; lease lapsed", order.job_id)
         raise

@@ -238,7 +238,7 @@ class JobQueue:
                 ),
             )
             self._conn.commit()
-            return self.get(int(cur.lastrowid), _locked=True)
+            return self._get_locked(int(cur.lastrowid))
 
     # ------------------------------------------------------------------
     # consumer side
@@ -317,7 +317,7 @@ class JobQueue:
                             row["job_id"],
                         ),
                     )
-                    claimed.append(self.get(int(row["job_id"]), _locked=True))
+                    claimed.append(self._get_locked(int(row["job_id"])))
                 self._conn.commit()
             except BaseException:
                 self._conn.rollback()
@@ -356,7 +356,7 @@ class JobQueue:
                 (state, attempts, not_before, now, error or None, job_id),
             )
             self._conn.commit()
-            return self.get(job_id, _locked=True)
+            return self._get_locked(job_id)
 
     def extend(self, job_id: int, claim_token: str, extra_s: float) -> Job:
         """Heartbeat: push a live lease's visibility deadline out."""
@@ -371,7 +371,7 @@ class JobQueue:
                 (now + extra_s, now, job_id),
             )
             self._conn.commit()
-            return self.get(job_id, _locked=True)
+            return self._get_locked(job_id)
 
     # ------------------------------------------------------------------
     # operator side
@@ -384,7 +384,7 @@ class JobQueue:
         the operator has presumably fixed whatever was killing the job.
         """
         with self._lock:
-            job = self.get(job_id, _locked=True)
+            job = self._get_locked(job_id)
             if job.state == JobState.DONE:
                 raise JobQueueError(f"job {job_id} is DONE; nothing to requeue")
             now = self._time()
@@ -396,7 +396,7 @@ class JobQueue:
                 (JobState.PENDING, now, job_id),
             )
             self._conn.commit()
-            return self.get(job_id, _locked=True)
+            return self._get_locked(job_id)
 
     def release(self, worker: str) -> int:
         """Break every live lease held by ``worker``: CLAIMED → PENDING.
@@ -434,17 +434,16 @@ class JobQueue:
 
     # ------------------------------------------------------------------
     # introspection
-    def get(self, job_id: int, _locked: bool = False) -> Job:
+    def get(self, job_id: int) -> Job:
         """Snapshot one job by id."""
-        if _locked:
-            row = self._conn.execute(
-                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
-            ).fetchone()
-        else:
-            with self._lock:
-                row = self._conn.execute(
-                    "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
-                ).fetchone()
+        with self._lock:
+            return self._get_locked(job_id)
+
+    def _get_locked(self, job_id: int) -> Job:
+        """Fetch one job; the caller must already hold ``self._lock``."""
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
         if row is None:
             raise JobQueueError(f"no such job: {job_id}")
         return self._job(row)
@@ -516,7 +515,7 @@ class JobQueue:
 
     def _fence(self, job_id: int, claim_token: str) -> Job:
         """Assert the caller still holds the live lease (lock held)."""
-        job = self.get(job_id, _locked=True)
+        job = self._get_locked(job_id)
         if job.state != JobState.CLAIMED or job.claim_token != claim_token:
             raise StaleClaimError(
                 f"job {job_id} is {job.state} under a different lease; "
@@ -536,7 +535,7 @@ class JobQueue:
                 (state, self._time(), error, job_id),
             )
             self._conn.commit()
-            return self.get(job_id, _locked=True)
+            return self._get_locked(job_id)
 
     @staticmethod
     def _job(row: sqlite3.Row) -> Job:

@@ -30,6 +30,7 @@ import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from ..core.framework import ALBADross
 from ..core.persistence import build_manifest, load_framework, save_framework
@@ -77,12 +78,22 @@ class ModelRegistry:
     ----------
     root:
         Registry directory; created on first use.
+    clock:
+        Source of ``created_at`` timestamps, defaulting to
+        :func:`time.time`. Inject a fake in tests to make published
+        manifests reproducible (the same pattern as
+        :class:`~repro.serving.reliability.CircuitBreaker`'s ``time_fn``).
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(
+        self,
+        root: str | Path,
+        clock: Callable[[], float] = time.time,
+    ):
         self.root = Path(root)
         self.versions_dir = self.root / "versions"
         self.versions_dir.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
 
     # ------------------------------------------------------------------
     def publish(
@@ -106,7 +117,7 @@ class ModelRegistry:
         """
         manifest = build_manifest(framework)
         manifest["tag"] = tag
-        manifest["created_at"] = time.time()
+        manifest["created_at"] = self._clock()
         staging = self.versions_dir / f".staging-{uuid.uuid4().hex}"
         staging.mkdir(parents=True)
         try:

@@ -48,7 +48,36 @@ __all__ = [
     "FALLBACK_LABEL",
     "fallback_diagnosis",
     "is_fallback",
+    "sync_wait_s",
 ]
+
+# Synchronous fast paths (service/fleet ``diagnose``) derive their wait
+# bound from these: the engine's request TTL plus a grace period for the
+# batch actually being scored, or a generous flat default when no TTL is
+# configured. Nothing in the serving stack waits forever.
+SYNC_WAIT_GRACE_S = 30.0
+SYNC_WAIT_DEFAULT_S = 120.0
+
+
+def sync_wait_s(
+    explicit_s: float | None = None,
+    deadline_s: float | None = None,
+    grace_s: float = SYNC_WAIT_GRACE_S,
+    default_s: float = SYNC_WAIT_DEFAULT_S,
+) -> float:
+    """A finite timeout for a synchronous wait on a request future.
+
+    Precedence: an explicit caller timeout wins; otherwise the configured
+    request deadline plus ``grace_s`` (the request either scores or fails
+    with :class:`DeadlineExceeded` well inside that window); otherwise
+    ``default_s``. The result is always a real number — the unbounded
+    ``future.result()`` fast path is a lint violation (BW001).
+    """
+    if explicit_s is not None:
+        return explicit_s
+    if deadline_s is not None:
+        return deadline_s + grace_s
+    return default_s
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Callable, Sequence
 
 from ..core.framework import ALBADross, Diagnosis
@@ -32,9 +33,11 @@ from .escalation import EscalationItem, EscalationQueue, apply_annotations
 from .registry import ModelRegistry, ModelVersion
 from .reliability import (
     CircuitBreaker,
+    DeadlineExceeded,
     DispatcherWatchdog,
     RetryPolicy,
     fallback_diagnosis,
+    sync_wait_s,
 )
 from .stats import ServiceStats
 
@@ -184,9 +187,26 @@ class DiagnosisService:
             return future
         return engine.submit(run, deadline_s=deadline_s)
 
-    def diagnose(self, run: RunRecord) -> Diagnosis:
-        """Synchronous single-run scoring (waits for the micro-batch)."""
-        return self.submit(run).result()
+    def diagnose(self, run: RunRecord, timeout_s: float | None = None) -> Diagnosis:
+        """Synchronous single-run scoring (waits for the micro-batch).
+
+        The wait is bounded: ``timeout_s`` if given, else the configured
+        ``default_deadline_s`` plus a scoring grace period, else a flat
+        default (see :func:`~repro.serving.reliability.sync_wait_s`).
+        Raises :class:`~repro.serving.reliability.DeadlineExceeded` if the
+        result does not arrive in time.
+        """
+        wait_s = sync_wait_s(
+            timeout_s, self._engine_opts.get("default_deadline_s")
+        )
+        future = self.submit(run)
+        try:
+            return future.result(timeout=wait_s)
+        except FuturesTimeout:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"diagnose() result did not arrive within {wait_s:.1f}s"
+            ) from None
 
     def diagnose_many(self, runs: Sequence[RunRecord]) -> list[Diagnosis]:
         """Synchronous bulk fast path with cache short-circuiting.

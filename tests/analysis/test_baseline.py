@@ -1,0 +1,61 @@
+"""Tests for the committed-baseline mechanism (load/write/diff)."""
+
+import json
+
+from repro.analysis import (
+    Finding,
+    diff_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _f(rule="EH001", path="src/repro/x.py", line=10, message="swallowed"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [_f(line=3), _f(rule="BW001", message="unbounded")]
+        write_baseline(target, findings)
+        loaded = load_baseline(target)
+        assert sorted(loaded) == sorted(findings)
+
+    def test_written_file_is_sorted_stable_json(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, [_f(path="b.py"), _f(path="a.py")])
+        doc = json.loads(target.read_text())
+        assert [entry["path"] for entry in doc] == ["a.py", "b.py"]
+
+    def test_empty_baseline_means_no_debt(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("[]\n")
+        assert load_baseline(target) == []
+
+
+class TestDiff:
+    def test_matching_ignores_line_numbers(self):
+        fresh, absorbed = diff_baseline([_f(line=99)], [_f(line=10)])
+        assert fresh == []
+        assert len(absorbed) == 1
+
+    def test_counts_are_per_key(self):
+        # two grandfathered findings absorb two occurrences; a third is new
+        current = [_f(line=1), _f(line=2), _f(line=3)]
+        baseline = [_f(line=1), _f(line=2)]
+        fresh, absorbed = diff_baseline(current, baseline)
+        assert len(absorbed) == 2
+        assert len(fresh) == 1
+
+    def test_different_rule_is_not_absorbed(self):
+        fresh, absorbed = diff_baseline(
+            [_f(rule="BW001")], [_f(rule="EH001")]
+        )
+        assert len(fresh) == 1
+        assert absorbed == []
+
+    def test_paid_down_debt_shrinks_cleanly(self):
+        fresh, absorbed = diff_baseline([], [_f()])
+        assert fresh == []
+        assert absorbed == []

@@ -1,0 +1,90 @@
+"""Fixture tests for the bounded-waits checker (BW001)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SCOPED = "src/repro/serving/fixture.py"
+UNSCOPED = "src/repro/mlcore/fixture.py"
+
+
+def _lint(source, path=SCOPED):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestBW001:
+    def test_unbounded_result_fires(self):
+        findings = _lint(
+            """
+            def score(engine, run):
+                return engine.submit(run).result()
+            """
+        )
+        assert [f.rule for f in findings] == ["BW001"]
+        assert ".result()" in findings[0].message
+
+    def test_each_wait_method_fires(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def drain(t, q, lock, evt, fut):
+                    fut.result()
+                    t.join()
+                    q.get()
+                    lock.acquire()
+                    evt.wait()
+                """
+            ),
+            SCOPED,
+            rules=["BW001"],
+        )
+        assert [f.rule for f in findings] == ["BW001"] * 5
+
+    def test_timeout_keyword_is_clean(self):
+        findings = _lint(
+            """
+            def score(engine, run):
+                return engine.submit(run).result(timeout=5.0)
+            """
+        )
+        assert findings == []
+
+    def test_positional_timeout_is_clean(self):
+        findings = _lint(
+            """
+            def drain(t, evt):
+                t.join(30.0)
+                evt.wait(30.0)
+            """
+        )
+        assert findings == []
+
+    def test_dict_get_and_str_join_are_clean(self):
+        # those always carry arguments, so the zero-arg rule ignores them
+        findings = _lint(
+            """
+            def fmt(d, parts):
+                return d.get("key"), ", ".join(parts)
+            """
+        )
+        assert findings == []
+
+    def test_tests_serving_is_in_scope(self):
+        findings = _lint(
+            """
+            def test_something(fut):
+                assert fut.result().label
+            """,
+            path="tests/serving/test_fixture.py",
+        )
+        assert [f.rule for f in findings] == ["BW001"]
+
+    def test_out_of_scope_path_is_clean(self):
+        findings = _lint(
+            """
+            def score(fut):
+                return fut.result()
+            """,
+            path=UNSCOPED,
+        )
+        assert findings == []

@@ -1,0 +1,160 @@
+"""Fixture tests for the determinism checker (DET001/DET002/DET003)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SCOPED = "src/repro/mlcore/fixture.py"
+UNSCOPED = "src/repro/experiments/fixture.py"
+
+
+def _lint(source, path=SCOPED):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestDET001ModuleLevelRNG:
+    def test_np_random_module_call_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(n):
+                return np.random.rand(n)
+            """
+        )
+        assert rules(findings) == ["DET001"]
+        assert findings[0].line == 5
+
+    def test_python_random_module_call_fires(self):
+        findings = _lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert rules(findings) == ["DET001"]
+
+    def test_generator_methods_are_clean(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(rng, n):
+                return rng.normal(size=n) + np.random.default_rng(7).random()
+            """
+        )
+        assert findings == []
+
+    def test_seeded_random_instance_is_clean(self):
+        findings = _lint(
+            """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed).random()
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_is_clean(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(n):
+                return np.random.rand(n)
+            """,
+            path=UNSCOPED,
+        )
+        assert findings == []
+
+
+class TestDET002WallClock:
+    def test_time_time_fires(self):
+        findings = _lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules(findings) == ["DET002"]
+
+    def test_monotonic_and_perf_counter_are_clean(self):
+        findings = _lint(
+            """
+            import time
+
+            def measure():
+                return time.monotonic() + time.perf_counter()
+            """
+        )
+        assert findings == []
+
+    def test_time_as_default_parameter_is_clean(self):
+        # a *reference* to time.time (injectable clock) is the sanctioned
+        # pattern; only wall-clock *calls* are flagged
+        findings = _lint(
+            """
+            import time
+
+            class Registry:
+                def __init__(self, clock=time.time):
+                    self._clock = clock
+            """
+        )
+        assert findings == []
+
+
+class TestDET003ArglessSeeding:
+    def test_argless_default_rng_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """
+        )
+        assert rules(findings) == ["DET003"]
+
+    def test_argless_seed_sequence_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def entropy():
+                return int(np.random.SeedSequence().entropy)
+            """
+        )
+        assert rules(findings) == ["DET003"]
+
+    def test_argless_random_instance_fires(self):
+        findings = _lint(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """
+        )
+        assert rules(findings) == ["DET003"]
+
+    def test_seeded_variants_are_clean(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def make(seed):
+                ss = np.random.SeedSequence(seed)
+                return np.random.default_rng(ss)
+            """
+        )
+        assert findings == []

@@ -1,0 +1,106 @@
+"""Fixture tests for the exception-hygiene checker (EH001)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SCOPED = "src/repro/serving/fixture.py"
+
+
+def _lint(source, path=SCOPED):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestEH001:
+    def test_broad_except_pass_fires(self):
+        findings = _lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+            """
+        )
+        assert [f.rule for f in findings] == ["EH001"]
+
+    def test_bare_except_fires(self):
+        findings = _lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    pass
+            """
+        )
+        assert [f.rule for f in findings] == ["EH001"]
+        assert "bare except" in findings[0].message
+
+    def test_broad_in_tuple_fires(self):
+        findings = _lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (ValueError, Exception):
+                    pass
+            """
+        )
+        assert [f.rule for f in findings] == ["EH001"]
+
+    def test_logged_handler_is_clean(self):
+        findings = _lint(
+            """
+            import logging
+
+            _LOG = logging.getLogger(__name__)
+
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception as exc:
+                    _LOG.warning("load failed: %s", exc)
+            """
+        )
+        assert findings == []
+
+    def test_reraise_is_clean(self):
+        findings = _lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception as exc:
+                    raise RuntimeError(f"load failed: {path}") from exc
+            """
+        )
+        assert findings == []
+
+    def test_narrow_type_is_clean(self):
+        findings = _lint(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_substantive_handling_is_clean(self):
+        # counting the failure into a visible report is escalation enough
+        findings = _lint(
+            """
+            def load_all(paths, report):
+                out = []
+                for path in paths:
+                    try:
+                        out.append(open(path).read())
+                    except Exception as exc:
+                        report.failures[path] = repr(exc)
+                return out
+            """
+        )
+        assert findings == []

@@ -1,0 +1,173 @@
+"""Fixture tests for the resource-lifecycle checker (RL001/RL002/RL003)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SCOPED = "src/repro/serving/fixture.py"
+
+
+def _lint(source, path=SCOPED):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestRL001Threads:
+    def test_unmanaged_thread_fires(self):
+        findings = _lint(
+            """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn)
+                t.start()
+                return t
+            """
+        )
+        assert rules(findings) == ["RL001"]
+
+    def test_daemon_kwarg_is_clean(self):
+        findings = _lint(
+            """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn, daemon=True)
+                t.start()
+                return t
+            """
+        )
+        assert findings == []
+
+    def test_join_anywhere_in_file_is_clean(self):
+        findings = _lint(
+            """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn)
+                t.start()
+                return t
+
+            def stop(t):
+                t.join(timeout=5.0)
+            """
+        )
+        assert findings == []
+
+    def test_daemon_assignment_is_clean(self):
+        findings = _lint(
+            """
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn)
+                t.daemon = True
+                t.start()
+                return t
+            """
+        )
+        assert findings == []
+
+
+class TestRL002SqliteConnections:
+    def test_unclosed_connect_fires(self):
+        findings = _lint(
+            """
+            import sqlite3
+
+            def count(path):
+                conn = sqlite3.connect(path)
+                return conn.execute("SELECT COUNT(*) FROM jobs").fetchone()
+            """
+        )
+        assert rules(findings) == ["RL002"]
+
+    def test_close_in_file_is_clean(self):
+        findings = _lint(
+            """
+            import sqlite3
+
+            class Store:
+                def __init__(self, path):
+                    self._conn = sqlite3.connect(path)
+
+                def close(self):
+                    self._conn.close()
+            """
+        )
+        assert findings == []
+
+    def test_context_managed_connect_is_clean(self):
+        findings = _lint(
+            """
+            import sqlite3
+            from contextlib import closing
+
+            def count(path):
+                with closing(sqlite3.connect(path)) as conn:
+                    return conn.execute("SELECT 1").fetchone()
+            """
+        )
+        assert findings == []
+
+
+class TestRL003AtomicWrites:
+    def test_direct_overwrite_fires(self):
+        findings = _lint(
+            """
+            import json
+
+            def save(path, doc):
+                with open(path, "w") as fh:
+                    json.dump(doc, fh)
+            """
+        )
+        assert rules(findings) == ["RL003"]
+
+    def test_write_text_fires(self):
+        findings = _lint(
+            """
+            def save(path, text):
+                path.write_text(text)
+            """
+        )
+        assert rules(findings) == ["RL003"]
+
+    def test_stage_and_replace_is_clean(self):
+        findings = _lint(
+            """
+            import json
+            import os
+
+            def save(path, doc):
+                tmp = path.with_name(path.name + ".tmp")
+                with tmp.open("w") as fh:
+                    json.dump(doc, fh)
+                os.replace(tmp, path)
+            """
+        )
+        assert findings == []
+
+    def test_read_mode_is_clean(self):
+        findings = _lint(
+            """
+            def load(path):
+                with open(path, "r") as fh:
+                    return fh.read()
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_path_is_clean(self):
+        findings = _lint(
+            """
+            def save(path, text):
+                path.write_text(text)
+            """,
+            path="src/repro/mlcore/fixture.py",
+        )
+        assert findings == []

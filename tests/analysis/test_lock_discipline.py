@@ -1,0 +1,190 @@
+"""Fixture tests for the lock-discipline checker (LD001/LD002/LD003)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.lock_discipline import is_lockish
+
+SCOPED = "src/repro/serving/fixture.py"
+
+
+def _lint(source, path=SCOPED):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestLockish:
+    def test_lock_mutex_sem_names_match(self):
+        assert is_lockish("self._lock")
+        assert is_lockish("self._close_lock")
+        assert is_lockish("mutex")
+        assert is_lockish("self._sem")
+
+    def test_conditions_and_none_do_not(self):
+        # waiting on a condition inside its `with` is the correct pattern
+        assert not is_lockish("self._idle")
+        assert not is_lockish("self._cond")
+        assert not is_lockish(None)
+
+
+class TestLD001BareAcquire:
+    def test_bare_acquire_fires(self):
+        findings = _lint(
+            """
+            class Q:
+                def push(self, item):
+                    self._lock.acquire()
+                    self.items.append(item)
+                    self._lock.release()
+            """
+        )
+        assert "LD001" in rules(findings)
+
+    def test_with_statement_is_clean(self):
+        findings = _lint(
+            """
+            class Q:
+                def push(self, item):
+                    with self._lock:
+                        self.items.append(item)
+            """
+        )
+        assert findings == []
+
+    def test_try_finally_release_is_clean(self):
+        findings = _lint(
+            """
+            class Q:
+                def push(self, item):
+                    self._lock.acquire()
+                    try:
+                        self.items.append(item)
+                    finally:
+                        self._lock.release()
+            """
+        )
+        assert "LD001" not in rules(findings)
+
+
+class TestLD002BlockingUnderLock:
+    def test_unbounded_wait_under_lock_fires(self):
+        findings = _lint(
+            """
+            class Q:
+                def drain(self, fut):
+                    with self._lock:
+                        return fut.result()
+            """
+        )
+        assert "LD002" in rules(findings)
+
+    def test_sleep_under_lock_fires(self):
+        findings = _lint(
+            """
+            import time
+
+            class Q:
+                def spin(self):
+                    with self._lock:
+                        time.sleep(0.5)
+            """
+        )
+        assert "LD002" in rules(findings)
+
+    def test_bounded_join_under_lock_is_clean(self):
+        # the engine's close path: bounded join under the close lock
+        findings = _lint(
+            """
+            class Engine:
+                def close(self):
+                    with self._close_lock:
+                        self._dispatcher.join(timeout=5.0)
+            """
+        )
+        assert findings == []
+
+    def test_nested_function_body_is_not_under_lock(self):
+        findings = _lint(
+            """
+            class Q:
+                def make_worker(self):
+                    with self._lock:
+                        def worker(fut):
+                            return fut.result()
+                    return worker
+            """
+        )
+        assert "LD002" not in rules(findings)
+
+
+class TestLD003LockOrderCycles:
+    def test_opposite_order_cycle_fires(self):
+        findings = _lint(
+            """
+            class Fleet:
+                def route(self):
+                    with self._ring_lock:
+                        with self._stats_lock:
+                            pass
+
+                def report(self):
+                    with self._stats_lock:
+                        with self._ring_lock:
+                            pass
+            """
+        )
+        assert [f.rule for f in findings] == ["LD003"]
+        assert "Fleet._ring_lock" in findings[0].message
+        assert "Fleet._stats_lock" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        findings = _lint(
+            """
+            class Fleet:
+                def route(self):
+                    with self._ring_lock:
+                        with self._stats_lock:
+                            pass
+
+                def report(self):
+                    with self._ring_lock:
+                        with self._stats_lock:
+                            pass
+            """
+        )
+        assert findings == []
+
+    def test_self_call_under_lock_resolves_one_hop(self):
+        # f holds the lock and calls g, which takes the same non-reentrant
+        # lock: a guaranteed self-deadlock, found via the call edge
+        findings = _lint(
+            """
+            class Q:
+                def outer(self):
+                    with self._lock:
+                        return self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        return self.items[0]
+            """
+        )
+        assert [f.rule for f in findings] == ["LD003"]
+        assert "Q._lock -> Q._lock" in findings[0].message
+
+    def test_call_without_lock_inside_is_clean(self):
+        findings = _lint(
+            """
+            class Q:
+                def outer(self):
+                    with self._lock:
+                        return self.inner()
+
+                def inner(self):
+                    return self.items[0]
+            """
+        )
+        assert findings == []

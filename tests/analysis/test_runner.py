@@ -1,0 +1,133 @@
+"""Runner, CLI, and repo-wide meta tests for ``repro lint``."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    format_findings,
+    run_lint,
+    rules_for_path,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestScoping:
+    def test_serving_gets_every_family(self):
+        active = rules_for_path("src/repro/serving/engine.py")
+        for rule in ("DET001", "BW001", "LD001", "RL001", "EH001"):
+            assert rule in active
+
+    def test_lock_rules_stay_out_of_mlcore(self):
+        active = rules_for_path("src/repro/mlcore/forest.py")
+        assert "LD001" not in active
+        assert "DET001" in active
+
+    def test_every_rule_has_a_scope_and_summary(self):
+        for rule_id, spec in RULES.items():
+            assert spec.scopes, rule_id
+            assert spec.summary, rule_id
+
+
+class TestRunLint:
+    def test_unknown_rule_id_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint([tmp_path], root=tmp_path, rules=["NOPE99"])
+
+    def test_syntax_error_is_reported_not_skipped(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "serving" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        report = run_lint(["src"], root=tmp_path)
+        assert report["findings"] == []
+        assert len(report["errors"]) == 1
+        assert "SyntaxError" in report["errors"][0]["error"]
+
+    def test_baseline_absorbs_known_findings(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text(
+            textwrap.dedent(
+                """
+                def score(fut):
+                    return fut.result()
+                """
+            )
+        )
+        dirty = run_lint(["src"], root=tmp_path)
+        assert [f.rule for f in dirty["findings"]] == ["BW001"]
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps([f.to_dict() for f in dirty["findings"]])
+        )
+        clean = run_lint(["src"], root=tmp_path, baseline=baseline)
+        assert clean["findings"] == []
+        assert [f.rule for f in clean["baselined"]] == ["BW001"]
+
+    def test_text_and_json_formats(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text("def score(fut):\n    return fut.result()\n")
+        report = run_lint(["src"], root=tmp_path)
+        text = format_findings(report, "text")
+        assert "BW001" in text
+        assert text.endswith("in 1 files")
+        doc = json.loads(format_findings(report, "json"))
+        assert doc["findings"][0]["rule"] == "BW001"
+        assert doc["files"] == 1
+
+
+class TestCli:
+    def test_lint_exits_nonzero_on_findings(self, tmp_path, monkeypatch, capsys):
+        src = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text("def score(fut):\n    return fut.result()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 1
+        assert "BW001" in capsys.readouterr().out
+
+    def test_lint_exits_zero_when_clean(self, tmp_path, monkeypatch, capsys):
+        src = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text("def score(fut):\n    return fut.result(timeout=5.0)\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 0
+
+    def test_write_baseline_then_lint_against_it(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        src = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text("def score(fut):\n    return fut.result()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--write-baseline", "baseline.json", "src"]) == 0
+        assert main(["lint", "--baseline", "baseline.json", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "(1 baselined)" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--rules", "NOPE99", "."]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        """The meta-test: the repo's own invariants hold, end to end."""
+        report = run_lint(
+            ["src", "tests"],
+            root=REPO_ROOT,
+            baseline=REPO_ROOT / "lint_baseline.json",
+        )
+        rendered = format_findings(report, "text")
+        assert report["errors"] == [], rendered
+        assert report["findings"] == [], rendered
+
+    def test_committed_baseline_is_empty(self):
+        # the repo carries no grandfathered debt; keep it that way
+        assert json.loads((REPO_ROOT / "lint_baseline.json").read_text()) == []

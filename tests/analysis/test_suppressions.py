@@ -1,0 +1,85 @@
+"""Tests for inline ``# repro-lint: disable=...`` suppression parsing."""
+
+import textwrap
+
+from repro.analysis import lint_source, parse_suppressions
+
+
+class TestParsing:
+    def test_single_rule_with_justification(self):
+        sup = parse_suppressions(
+            "x = risky()  # repro-lint: disable=EH001 -- teardown may race\n"
+        )
+        assert list(sup) == [1]
+        assert sup[1].covers("EH001")
+        assert not sup[1].covers("BW001")
+        assert sup[1].justification == "teardown may race"
+
+    def test_multiple_rules(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=DET001, DET003 -- fixture data\n"
+        )
+        assert sup[1].covers("DET001")
+        assert sup[1].covers("DET003")
+        assert not sup[1].covers("DET002")
+
+    def test_disable_all(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert sup[1].covers("EH001")
+        assert sup[1].covers("LD003")
+        assert sup[1].justification == ""
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        # parsed via tokenize, so string literals cannot suppress
+        sup = parse_suppressions(
+            's = "# repro-lint: disable=EH001"\n'
+        )
+        assert sup == {}
+
+    def test_line_numbers_track_the_comment(self):
+        sup = parse_suppressions(
+            "a = 1\n"
+            "b = 2  # repro-lint: disable=BW001 -- test helper\n"
+            "c = 3\n"
+        )
+        assert list(sup) == [2]
+
+
+class TestEndToEnd:
+    def test_suppression_silences_the_flagged_line(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def score(fut):
+                    return fut.result()  # repro-lint: disable=BW001 -- fixture
+                """
+            ),
+            "src/repro/serving/fixture.py",
+        )
+        assert findings == []
+
+    def test_suppression_is_line_scoped(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def score(a, b):
+                    x = a.result()  # repro-lint: disable=BW001 -- fixture
+                    return x, b.result()
+                """
+            ),
+            "src/repro/serving/fixture.py",
+        )
+        assert [f.rule for f in findings] == ["BW001"]
+        assert findings[0].line == 4
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def score(fut):
+                    return fut.result()  # repro-lint: disable=EH001 -- wrong id
+                """
+            ),
+            "src/repro/serving/fixture.py",
+        )
+        assert [f.rule for f in findings] == ["BW001"]

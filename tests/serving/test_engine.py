@@ -145,7 +145,7 @@ class TestFlushWaitsForInflight:
             gate.set()
             engine.flush(timeout=5.0)
             assert future.done()
-            assert future.result().label == "healthy"
+            assert future.result(timeout=30.0).label == "healthy"
         finally:
             gate.set()
             engine.close()

@@ -89,7 +89,7 @@ class TestFleetParity:
         for n_shards in (1, 4, 8):
             fleet = FleetService(registry, n_shards=n_shards, cache_size=0)
             with fleet:
-                via_submit = [f.result() for f in
+                via_submit = [f.result(timeout=30.0) for f in
                               [fleet.submit(r) for r in runs]]
                 via_bulk = fleet.diagnose_many(runs)
             for got in (via_submit, via_bulk):
@@ -155,7 +155,7 @@ class TestShardDeath:
             assert fleet.probe() == [victim]
             assert victim in fleet.down_shards
             # every run still scores, identically, via the surviving shards
-            got = [f.result() for f in [fleet.submit(r) for r in runs]]
+            got = [f.result(timeout=30.0) for f in [fleet.submit(r) for r in runs]]
             assert [d.label for d in got] == [d.label for d in reference]
             assert [d.confidence for d in got] == [
                 d.confidence for d in reference
@@ -168,7 +168,7 @@ class TestShardDeath:
         with fleet:
             victim = fleet.shard_for(run)
             fleet.shards[victim].stop()
-            diagnosis = fleet.submit(run).result()  # reroutes inline
+            diagnosis = fleet.submit(run).result(timeout=30.0)  # reroutes inline
             assert diagnosis.label
             assert victim in fleet.down_shards
             assert fleet.reroutes >= 1
@@ -209,7 +209,7 @@ class TestShardDeath:
             fleet.revive_shard(victim)
             assert victim not in fleet.down_shards
             assert fleet.shard_for(run) == victim
-            assert fleet.submit(run).result().label  # serves again
+            assert fleet.submit(run).result(timeout=30.0).label  # serves again
 
 
 class TestDurableRetrain:
@@ -333,3 +333,26 @@ class TestChaosUnderLoad:
                     resolved_err += 1
             assert resolved_ok + resolved_err == len(futures)
             assert resolved_ok > 0  # the survivors kept serving
+
+
+class TestBoundedFleetDiagnose:
+    def test_stuck_future_raises_deadline_exceeded(
+        self, registry, corpus, monkeypatch
+    ):
+        from concurrent.futures import Future
+
+        from repro.serving.reliability import DeadlineExceeded
+
+        fleet = FleetService(registry, n_shards=2, cache_size=0)
+        stuck: Future = Future()
+        monkeypatch.setattr(
+            fleet, "submit", lambda run, deadline_s=None: stuck
+        )
+        with pytest.raises(DeadlineExceeded, match="did not arrive"):
+            fleet.diagnose(corpus["pool"][0], timeout_s=0.05)
+        assert stuck.cancelled()
+
+    def test_diagnose_with_explicit_timeout_succeeds(self, registry, corpus):
+        with FleetService(registry, n_shards=2, cache_size=0) as fleet:
+            diagnosis = fleet.diagnose(corpus["pool"][0], timeout_s=10.0)
+        assert diagnosis.label

@@ -144,7 +144,7 @@ class TestConcurrentWriters:
         barrier = threading.Barrier(4)
 
         def publisher(slot: int) -> None:
-            barrier.wait()
+            barrier.wait(timeout=30.0)
             results[slot] = registry.publish(trained, tag=f"racer-{slot}")
 
         threads = [
@@ -185,14 +185,14 @@ class TestConcurrentWriters:
         errors: list = []
 
         def publish():
-            barrier.wait()
+            barrier.wait(timeout=30.0)
             try:
                 registry.publish(trained, tag="raced")
             except Exception as exc:  # pragma: no cover - diagnostic
                 errors.append(exc)
 
         def rollback():
-            barrier.wait()
+            barrier.wait(timeout=30.0)
             try:
                 registry.rollback()
             except RegistryError:
@@ -214,3 +214,20 @@ class TestConcurrentWriters:
         fw, version = registry.load("current")
         assert version.version_id == current
         assert fw.model is not None
+
+
+class TestInjectableClock:
+    def test_publish_stamps_created_at_from_clock(self, trained, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg", clock=lambda: 1234.5)
+        version = registry.publish(trained, tag="clocked")
+        assert version.created_at == 1234.5
+        manifest = json.loads((version.path / "manifest.json").read_text())
+        assert manifest["created_at"] == 1234.5
+
+    def test_default_clock_is_wall_time(self, trained, tmp_path):
+        import time
+
+        registry = ModelRegistry(tmp_path / "reg")
+        before = time.time()
+        version = registry.publish(trained)
+        assert before <= version.created_at <= time.time()

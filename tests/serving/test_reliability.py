@@ -367,7 +367,7 @@ class TestRestartRaces:
             barrier = threading.Barrier(n)
 
             def restart():
-                barrier.wait()
+                barrier.wait(timeout=30.0)
                 engine.restart_dispatcher("test: concurrent restart")
 
             threads = [threading.Thread(target=restart) for _ in range(n)]
@@ -624,3 +624,26 @@ class TestStatsSnapshotKeys:
             "degraded_responses",
         ):
             assert snap[key] == 0
+
+
+class TestSyncWaitDerivation:
+    def test_explicit_timeout_wins(self):
+        from repro.serving.reliability import sync_wait_s
+
+        assert sync_wait_s(5.0, deadline_s=2.0) == 5.0
+
+    def test_deadline_plus_grace(self):
+        from repro.serving.reliability import (
+            SYNC_WAIT_GRACE_S,
+            sync_wait_s,
+        )
+
+        assert sync_wait_s(None, deadline_s=2.0) == 2.0 + SYNC_WAIT_GRACE_S
+
+    def test_flat_default_when_unconfigured(self):
+        from repro.serving.reliability import (
+            SYNC_WAIT_DEFAULT_S,
+            sync_wait_s,
+        )
+
+        assert sync_wait_s(None, deadline_s=None) == SYNC_WAIT_DEFAULT_S

@@ -193,3 +193,36 @@ class TestEscalationVisibility:
         snap = DiagnosisService(registry).stats.snapshot()
         assert snap["escalations_forced"] == 0
         assert snap["escalations_refused"] == 0
+
+
+class TestBoundedDiagnose:
+    def test_stuck_future_raises_deadline_exceeded(
+        self, registry, corpus, monkeypatch
+    ):
+        from concurrent.futures import Future
+
+        from repro.serving.reliability import DeadlineExceeded
+
+        service = DiagnosisService(registry)
+        stuck: Future = Future()
+        monkeypatch.setattr(
+            service, "submit", lambda run, deadline_s=None: stuck
+        )
+        with pytest.raises(DeadlineExceeded, match="did not arrive"):
+            service.diagnose(corpus["pool"][0], timeout_s=0.05)
+        # the abandoned request is cancelled, not leaked
+        assert stuck.cancelled()
+
+    def test_timeout_derives_from_configured_deadline(self, registry):
+        from repro.serving.reliability import SYNC_WAIT_GRACE_S, sync_wait_s
+
+        service = DiagnosisService(registry, default_deadline_s=2.0)
+        derived = sync_wait_s(
+            None, service._engine_opts.get("default_deadline_s")
+        )
+        assert derived == 2.0 + SYNC_WAIT_GRACE_S
+
+    def test_normal_diagnose_still_succeeds(self, registry, corpus):
+        with DiagnosisService(registry, max_linger_s=0.01) as service:
+            diagnosis = service.diagnose(corpus["pool"][0], timeout_s=10.0)
+        assert diagnosis.label

@@ -55,7 +55,7 @@ class TestSnapshot:
         for t in threads:
             t.start()
         for t in threads:
-            t.join()
+            t.join(timeout=30.0)
         snap = stats.snapshot()
         assert snap["requests"] == 2000
         assert snap["batches"] == 2000
