@@ -39,6 +39,23 @@ def make_preps(
     ]
 
 
+@pytest.fixture(autouse=True, scope="session")
+def no_leaked_shm_segments():
+    """Fail the bench session if shared-memory segments outlive it.
+
+    The zero-copy data plane parks corpus buffers and code matrices in
+    ``/dev/shm``; every owner must unlink on exit (normal, exception, or
+    worker crash). A segment surviving the whole session is a leak —
+    on a production HPC node it would eat tmpfs until reboot.
+    """
+    from repro.parallel import active_segments
+
+    before = set(active_segments())
+    yield
+    leaked = sorted(set(active_segments()) - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
 def write_artifact(name: str, text: str) -> None:
     """Print a bench artifact and persist it under benchmarks/out/."""
     OUT_DIR.mkdir(parents=True, exist_ok=True)

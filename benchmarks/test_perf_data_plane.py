@@ -14,10 +14,13 @@ Timing protocol mirrors ``test_perf_train_core.py``: this box throttles
 under sustained load, so competing configs are *interleaved* and each
 reported number is the median over reps.
 
-Parallel speedup is recorded alongside ``os.cpu_count()`` and only
-asserted (≥3x at 4 workers) when the machine actually has ≥4 cores and
-the full profile is running — on fewer cores extra workers can only add
-spawn/pickle overhead, which the artifact records honestly.
+Parallel speedup is recorded alongside the *effective* CPU count (the
+affinity mask, not the machine) and only asserted (≥3x at 4 workers)
+when the mask actually offers ≥4 cores and the full profile is running.
+On any box the parallel arm must stay within 5% of serial (speedup
+≥ 0.95x): the zero-copy substrate resolves ``backend="auto"`` to
+threads when the mask has one core and ships work through shared
+memory otherwise, so ``n_jobs`` must never be a slowdown.
 
 ``DATA_PLANE_PROFILE=smoke`` shrinks the campaign for CI; the smoke
 numbers gate regressions against ``benchmarks/baselines/`` via
@@ -37,6 +40,7 @@ import numpy as np
 from repro.apps.volta_apps import VOLTA_APPS
 from repro.datasets.generate import SystemConfig, build_dataset
 from repro.features.pipeline import preprocess_run
+from repro.parallel import effective_cpu_count
 from repro.features.tsfresh_lite import (
     _approx_entropy_column,
     _approx_entropy_matrix,
@@ -51,7 +55,10 @@ SMOKE = PROFILE == "smoke"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_data_plane.json"
 
-REPS = 2 if SMOKE else 3
+# an even rep count keeps the arm-order alternation balanced (each arm
+# runs first in half the reps); 4 reps tame the noise on ~100ms smoke
+# measurements that the 0.95 overhead gate compares
+REPS = 4
 N_WORKERS = 4
 
 
@@ -82,6 +89,7 @@ def _update_results(section: str, payload: dict) -> None:
     doc.setdefault("schema", "data_plane/v1")
     doc["profile"] = PROFILE
     doc["cpu_count"] = os.cpu_count()
+    doc["effective_cpu_count"] = effective_cpu_count()
     doc[section] = payload
     RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"\n=== {section} ===\n{json.dumps(payload, indent=2)}")
@@ -97,14 +105,18 @@ class TestBuildDataset:
     def _bench_method(self, method: str) -> dict:
         config = _campaign()
         times: dict[str, list[float]] = {"serial": [], "parallel": []}
-        ref = par = None
-        for _rep in range(REPS):
-            t, ds = _build_seconds(config, method, n_jobs=1)
-            times["serial"].append(t)
-            ref = ds
-            t, ds = _build_seconds(config, method, n_jobs=N_WORKERS)
-            times["parallel"].append(t)
-            par = ds
+        jobs = {"serial": 1, "parallel": N_WORKERS}
+        results: dict[str, object] = {}
+        for rep in range(REPS):
+            # alternate arm order: the box throttles under sustained
+            # load, so whichever arm runs second in a rep measures hot —
+            # alternating debiases the medians
+            order = ("serial", "parallel") if rep % 2 == 0 else ("parallel", "serial")
+            for arm in order:
+                t, ds = _build_seconds(config, method, n_jobs=jobs[arm])
+                times[arm].append(t)
+                results[arm] = ds
+        ref, par = results["serial"], results["parallel"]
         # the whole point: parallelism must not move a single bit
         assert np.array_equal(ref.X, par.X)
         assert np.array_equal(ref.labels, par.labels)
@@ -121,12 +133,20 @@ class TestBuildDataset:
             "speedup_4w": round(speedup, 2),
             "bit_identical": True,
             "note": (
-                "speedup is bounded by cpu_count; with fewer than 4 cores "
-                "the 4-worker arm only adds spawn/pickle overhead"
+                "speedup is bounded by the affinity mask; on a one-core "
+                "mask backend=auto runs threads, so the parallel arm "
+                "stays within noise of serial instead of paying "
+                "spawn/pickle overhead"
             ),
         }
         _update_results(f"build_dataset_{method}", payload)
-        if not SMOKE and (os.cpu_count() or 1) >= N_WORKERS:
+        # parallelism must never be a slowdown: whatever the core count,
+        # the 4-worker arm stays within 5% of serial
+        assert speedup >= 0.95, (
+            f"parallel overhead: {method} 4-worker arm is "
+            f"{1 / speedup:.2f}x serial"
+        )
+        if not SMOKE and effective_cpu_count() >= N_WORKERS:
             assert speedup >= 3.0
         return payload
 

@@ -45,6 +45,7 @@ from repro.serving.replay import (
     fault_wrapper_factory,
     replay,
 )
+from repro.parallel import effective_cpu_count
 from repro.serving.service import DiagnosisService
 from repro.telemetry.catalog import build_catalog
 from repro.telemetry.node import VOLTA_NODE
@@ -70,6 +71,7 @@ def _update_results(section: str, payload: dict) -> None:
     doc.setdefault("schema", "serving/v1")
     doc["profile"] = PROFILE
     doc["cpu_count"] = os.cpu_count()
+    doc["effective_cpu_count"] = effective_cpu_count()
     doc["n_nodes"] = ECLIPSE_NODES
     doc[section] = payload
     RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")

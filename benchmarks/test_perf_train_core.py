@@ -7,8 +7,11 @@ Measures the three claims of the binned-core work and records them in
   at the canonical Table-IV depth (``max_depth=8``, the paper's tuned
   value) and at unlimited depth as an honest secondary;
 * worker scaling: the same hist fit at ``n_jobs`` ∈ {1, 2, 4} — recorded
-  together with ``os.cpu_count()`` because scaling is only meaningful
-  with the cores to back it;
+  together with the *effective* CPU count (the affinity mask, not the
+  machine) because scaling is only meaningful with the cores to back it;
+  whatever the mask, every parallel arm must stay within 5% of serial
+  (``backend="auto"`` runs threads on a one-core mask and shared-memory
+  processes otherwise, so ``n_jobs`` is never a slowdown);
 * active-learning refits: 50 query rounds end-to-end, exact (no cache)
   vs hist with the cross-refit bin cache, plus a cache-run repeat to pin
   the seeded query sequence.
@@ -35,6 +38,7 @@ import numpy as np
 
 from repro.active.loop import run_active_learning
 from repro.mlcore.forest import RandomForestClassifier
+from repro.parallel import effective_cpu_count
 
 PROFILE = os.environ.get("TRAIN_CORE_PROFILE", "full")
 SMOKE = PROFILE == "smoke"
@@ -65,6 +69,7 @@ def _update_results(section: str, payload: dict) -> None:
     doc.setdefault("schema", "train_core/v1")
     doc["profile"] = PROFILE
     doc["cpu_count"] = os.cpu_count()
+    doc["effective_cpu_count"] = effective_cpu_count()
     doc[section] = payload
     RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"\n=== {section} ===\n{json.dumps(payload, indent=2)}")
@@ -145,8 +150,12 @@ class TestForestFit:
         X, y = _forest_data()
         times: dict[int, list[float]] = {1: [], 2: [], 4: []}
         trees = max(4, N_TREES // 4)  # scaling shape, not absolute scale
-        for _rep in range(REPS):
-            for n_jobs in times:
+        arms = list(times)
+        # two full order rotations: the box throttles under sustained
+        # load, so a fixed order measures later arms systematically hot;
+        # every arm visits every position equally often
+        for rep in range(2 * len(arms) if not SMOKE else REPS):
+            for n_jobs in arms[rep % len(arms):] + arms[:rep % len(arms)]:
                 times[n_jobs].append(
                     _fit_seconds(
                         X, y,
@@ -157,19 +166,27 @@ class TestForestFit:
         med = {n: float(np.median(ts)) for n, ts in times.items()}
         payload = {
             "n_trees": trees,
+            "reps": len(times[1]),
             "seconds": {str(n): round(t, 4) for n, t in med.items()},
             "speedup_vs_serial": {
                 str(n): round(med[1] / t, 2) for n, t in med.items()
             },
             "note": (
-                "worker scaling is bounded by cpu_count; on a single-core "
-                "machine extra workers only add spawn/pickle overhead"
+                "worker scaling is bounded by the affinity mask; on a "
+                "one-core mask backend=auto runs threads, so parallel "
+                "arms stay within noise of serial"
             ),
         }
         _update_results("worker_scaling", payload)
-        # scaling itself is recorded, not asserted: it is a property of
-        # the machine; determinism across n_jobs is asserted in tier-1
-        assert med[1] > 0
+        # scaling beyond 1x is a property of the machine and is recorded,
+        # not asserted; determinism across n_jobs is asserted in tier-1.
+        # But n_jobs must never be a *slowdown* — every parallel arm
+        # stays within 5% of serial on any affinity mask.
+        for n_jobs, t in med.items():
+            assert med[1] / t >= 0.95, (
+                f"parallel overhead: n_jobs={n_jobs} arm is "
+                f"{t / med[1]:.2f}x serial"
+            )
 
 
 class TestActiveLearningRefits:

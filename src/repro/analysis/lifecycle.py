@@ -17,6 +17,14 @@
   ``os.rename``). A reader racing a direct overwrite sees a torn file;
   the registry's CURRENT pointer and the experiment cache both already
   stage-and-replace, and this rule keeps it that way.
+* **RL004** — a raw ``SharedMemory(...)`` construction must come with
+  file-local evidence of an unlink story: an ``.unlink()`` call or a
+  ``weakref.finalize(...)`` registration somewhere in the file.
+  ``close()`` alone is not enough — the segment lives in ``/dev/shm``
+  until someone unlinks it, and a leaked segment eats tmpfs until
+  reboot. :mod:`repro.parallel.shm` wraps the full lifecycle
+  (finalizer-backed unlink on the owner, close-only on attachments);
+  code outside it should go through those wrappers.
 """
 
 from __future__ import annotations
@@ -57,13 +65,32 @@ def _sets_daemon_true(tree: ast.AST) -> bool:
     return False
 
 
+_SHM_CONSTRUCTORS = (
+    "SharedMemory",
+    "shared_memory.SharedMemory",
+    "multiprocessing.shared_memory.SharedMemory",
+)
+
+
+def _has_finalize_call(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and dotted_name(node.func) in (
+            "weakref.finalize",
+            "finalize",
+        ):
+            return True
+    return False
+
+
 class ResourceLifecycleChecker(Checker):
     name = "resource-lifecycle"
-    rules = ("RL001", "RL002", "RL003")
+    rules = ("RL001", "RL002", "RL003", "RL004")
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         file_has_join = _has_call_attr(ctx.tree, "join")
         file_has_close = _has_call_attr(ctx.tree, "close")
+        file_has_unlink = _has_call_attr(ctx.tree, "unlink")
+        file_has_finalize = _has_finalize_call(ctx.tree)
         file_daemon_assign = _sets_daemon_true(ctx.tree)
         for node, ancestors in walk_with_ancestors(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -79,6 +106,19 @@ class ResourceLifecycleChecker(Checker):
                     message=(
                         "Thread is neither daemonized nor joined anywhere in "
                         "this file — give it daemon=True or a bounded join"
+                    ),
+                )
+            elif dotted in _SHM_CONSTRUCTORS:
+                if file_has_unlink or file_has_finalize:
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule="RL004",
+                    message=(
+                        "SharedMemory segment with no unlink story in this "
+                        "file — close() frees nothing; register a "
+                        "weakref.finalize unlink or use repro.parallel.shm"
                     ),
                 )
             elif dotted == "sqlite3.connect":

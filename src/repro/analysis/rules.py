@@ -118,6 +118,13 @@ RULES: dict[str, RuleSpec] = {
             _PERSISTENCE_SCOPE,
         ),
         RuleSpec(
+            "RL004",
+            "SharedMemory segment with no file-local unlink story "
+            "(.unlink() or weakref.finalize): close() alone leaks the "
+            "segment in /dev/shm",
+            ("repro", "tests"),
+        ),
+        RuleSpec(
             "EH001",
             "swallowed exception (bare/broad except with no logging, "
             "escalation, or re-raise): failures must leave a trace",

@@ -37,7 +37,7 @@ from ..anomalies import get_anomaly
 from ..apps.base import AppSignature
 from ..features.pipeline import FeatureDataset, FeatureExtractor
 from ..mlcore.base import check_random_state
-from ..parallel import Executor, block_partition
+from ..parallel import block_partition, shared_executor
 from ..telemetry.catalog import MetricCatalog
 from ..telemetry.collector import Collector, RunRecord
 from ..telemetry.corpus import RunCorpus
@@ -155,6 +155,23 @@ def _master_entropy(rng: int | np.random.Generator | None) -> int:
     return int(rng)
 
 
+class _SpecCollector:
+    """Worker body: collect grid chunks into packed corpora.
+
+    Holds the campaign config and master seed so the executor's function
+    cache ships them **once per pool**; each task is just a spec list.
+    Every run still derives its RNG purely from ``(master, stream_key)``,
+    so results are independent of chunking and worker count.
+    """
+
+    def __init__(self, config: SystemConfig, master: int):
+        self.config = config
+        self.master = master
+
+    def __call__(self, specs: list[_RunSpec]) -> RunCorpus:
+        return _collect_chunk((self.config, self.master, specs))
+
+
 def _collect_chunk(payload: tuple[SystemConfig, int, list[_RunSpec]]) -> RunCorpus:
     """Worker body: collect one grid chunk into a packed corpus."""
     config, master, specs = payload
@@ -185,24 +202,32 @@ def generate_corpus(
     config: SystemConfig,
     rng: int | np.random.Generator | None = None,
     n_jobs: int = 1,
+    backend: str = "auto",
 ) -> RunCorpus:
     """Execute the campaign with per-run seed streams, packed.
 
-    The output is bit-identical for every ``n_jobs``; pass the same seed
-    to get the same corpus whether it was built by one process or eight.
+    The output is bit-identical for every ``n_jobs`` and either backend;
+    pass the same seed to get the same corpus whether it was built by
+    one process or eight. Fan-out rides the process-wide warm pool
+    (:func:`repro.parallel.shared_executor`), so the featurize and fit
+    stages that follow reuse the same workers.
     """
     master = _master_entropy(rng)
     specs = _campaign_grid(config)
     n_jobs = max(1, int(n_jobs))
     if n_jobs == 1 or len(specs) == 1:
         return _collect_chunk((config, master, specs))
-    with Executor(n_workers=n_jobs) as executor:
-        payloads = [
-            (config, master, [specs[i] for i in idx])
-            for idx in block_partition(len(specs), min(len(specs), n_jobs * 4))
-            if len(idx)
-        ]
-        parts = executor.map(_collect_chunk, payloads)
+    executor = shared_executor(n_jobs, backend=backend)
+    if executor.n_workers <= 1:
+        # backend="auto" on a one-core mask degrades to serial: skip the
+        # chunk/concat round-trip, the bytes are identical either way
+        return _collect_chunk((config, master, specs))
+    chunks = [
+        [specs[i] for i in idx]
+        for idx in block_partition(len(specs), min(len(specs), n_jobs * 4))
+        if len(idx)
+    ]
+    parts = executor.map(_SpecCollector(config, master), chunks)
     return RunCorpus.concat(parts)
 
 
@@ -267,6 +292,7 @@ def build_dataset(
     rng: int | np.random.Generator | None = None,
     map_fn: Callable[..., Iterable[np.ndarray]] | None = None,
     n_jobs: int | None = None,
+    backend: str = "auto",
 ) -> tuple[FeatureDataset, FeatureExtractor]:
     """Run the campaign and featurize it in one call.
 
@@ -280,8 +306,9 @@ def build_dataset(
         runs = generate_runs(config, rng)
         extractor = FeatureExtractor(config.catalog, method=method, map_fn=map_fn)
         return extractor.fit_transform(runs), extractor
-    corpus = generate_corpus(config, rng, n_jobs=n_jobs)
+    corpus = generate_corpus(config, rng, n_jobs=n_jobs, backend=backend)
     extractor = FeatureExtractor(
-        config.catalog, method=method, map_fn=map_fn, n_jobs=n_jobs
+        config.catalog, method=method, map_fn=map_fn, n_jobs=n_jobs,
+        backend=backend,
     )
     return extractor.fit_transform(corpus), extractor

@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..parallel import Executor, block_partition
+from ..parallel import SharedArrayHandle, block_partition, shared_executor
 from ..telemetry.catalog import MetricCatalog
 from ..telemetry.collector import RunRecord
 from ..telemetry.corpus import RunCorpus
@@ -155,9 +155,9 @@ class FeatureDataset:
 class _ChunkFeaturizer:
     """Picklable worker body: featurize every run of a corpus chunk.
 
-    A chunk arrives as a :class:`RunCorpus` view (one contiguous buffer),
-    so crossing the process boundary costs a single flat memcpy rather
-    than per-record pickling; the per-run math is byte-identical to the
+    A chunk arrives as a :class:`RunCorpus` view (one contiguous buffer);
+    under the thread backend the view *is* the parent's memory, so
+    nothing is copied at all. The per-run math is byte-identical to the
     serial path.
     """
 
@@ -176,14 +176,50 @@ class _ChunkFeaturizer:
         ])
 
 
+class _ShmChunkFeaturizer:
+    """Worker body bound to a corpus buffer living in shared memory.
+
+    The whole object is shipped **once per pool** (the executor's
+    function cache); each work item is only a chunk's absolute row-offset
+    array into the shared buffer — a few hundred bytes — so scaling the
+    corpus never scales the task pickles. Workers attach to the segment,
+    featurize their runs as views, and detach; the parent owns (and
+    unlinks) the segment.
+    """
+
+    def __init__(self, handle: SharedArrayHandle, counter_mask: np.ndarray,
+                 trim_frac: tuple[float, float], method: str):
+        self.handle = handle
+        self.counter_mask = counter_mask
+        self.trim_frac = trim_frac
+        self.method = method
+
+    def __call__(self, offsets: np.ndarray) -> np.ndarray:
+        extract = _EXTRACTORS[self.method][0]
+        with self.handle.open() as att:
+            buffer = att.array
+            return np.vstack([
+                extract(preprocess_run(
+                    buffer[offsets[i]:offsets[i + 1]], self.counter_mask,
+                    self.trim_frac,
+                ))
+                for i in range(len(offsets) - 1)
+            ])
+
+
 class FeatureExtractor:
     """End-to-end extraction over a run corpus, with the NaN/zero drop.
 
     Accepts either a ``Sequence[RunRecord]`` or a packed
     :class:`~repro.telemetry.corpus.RunCorpus`; with ``n_jobs > 1`` the
     corpus is split into contiguous chunks (many runs per task) that fan
-    out over :class:`repro.parallel.Executor` — results are bit-identical
-    to serial extraction at any worker count.
+    out over the process-wide warm pool
+    (:func:`repro.parallel.shared_executor`) — results are bit-identical
+    to serial extraction at any worker count and either backend. Under
+    the process backend the corpus buffer crosses into workers through
+    one :class:`repro.parallel.SharedArray` segment (workers attach,
+    nothing is pickled but row offsets); the thread backend shares the
+    parent's memory outright.
 
     Parameters
     ----------
@@ -199,8 +235,13 @@ class FeatureExtractor:
         used to spread per-run extraction over processes (legacy hook;
         prefer ``n_jobs``, which ships packed chunks instead of records).
     n_jobs:
-        Worker processes for chunk-wise extraction; ``None`` or 1 keeps
+        Workers for chunk-wise extraction; ``None`` or 1 keeps
         extraction serial and in-process.
+    backend:
+        ``"auto"`` (default), ``"thread"``, or ``"process"`` — see
+        :func:`repro.parallel.resolve_backend`. The extraction kernels
+        (interpolation, entropy, bincounts) release the GIL, so the
+        thread backend parallelizes them with near-zero overhead.
     """
 
     def __init__(
@@ -210,6 +251,7 @@ class FeatureExtractor:
         trim_frac: tuple[float, float] = (0.08, 0.06),
         map_fn: Callable[..., Iterable[np.ndarray]] | None = None,
         n_jobs: int | None = None,
+        backend: str = "auto",
     ):
         if method not in _EXTRACTORS:
             raise ValueError(
@@ -220,7 +262,7 @@ class FeatureExtractor:
         self.trim_frac = trim_frac
         self.map_fn = map_fn
         self.n_jobs = n_jobs
-        self._executor: Executor | None = None
+        self.backend = backend
         self._extract, per_metric_names = _EXTRACTORS[method]
         self._all_names = [
             f"{m}::{f}" for m in catalog.names for f in per_metric_names
@@ -230,7 +272,8 @@ class FeatureExtractor:
     def __setstate__(self, state: dict) -> None:
         # extractors pickled before the parallel data plane lack its knobs
         state.setdefault("n_jobs", None)
-        state.setdefault("_executor", None)
+        state.setdefault("backend", "auto")
+        state.pop("_executor", None)  # pre-shm extractors owned a pool
         self.__dict__.update(state)
 
     # ------------------------------------------------------------------
@@ -239,20 +282,41 @@ class FeatureExtractor:
         return self._extract(clean)
 
     def _featurize_corpus(self, corpus: RunCorpus) -> np.ndarray:
-        worker = _ChunkFeaturizer(
-            self.catalog.counter_mask, self.trim_frac, self.method
-        )
         n_jobs = self.n_jobs or 1
         if n_jobs <= 1 or len(corpus) == 1:
-            return worker(corpus)
-        if self._executor is None or self._executor.n_workers != n_jobs:
-            self._executor = Executor(n_workers=n_jobs)
-        chunks = [
-            corpus.chunk(int(idx[0]), int(idx[-1]) + 1)
+            return _ChunkFeaturizer(
+                self.catalog.counter_mask, self.trim_frac, self.method
+            )(corpus)
+        executor = shared_executor(n_jobs, backend=self.backend)
+        if executor.n_workers <= 1:
+            # backend="auto" on a one-core mask degrades to serial: skip
+            # the chunk/vstack round-trip, the bytes are identical anyway
+            return _ChunkFeaturizer(
+                self.catalog.counter_mask, self.trim_frac, self.method
+            )(corpus)
+        parts = [
+            idx
             for idx in block_partition(len(corpus), min(len(corpus), n_jobs * 4))
             if len(idx)
         ]
-        return np.vstack(self._executor.map(worker, chunks))
+        if executor.backend == "process":
+            # one segment for the whole campaign buffer; tasks carry only
+            # their chunk's row offsets, workers attach instead of copying
+            with corpus.share() as shared:
+                worker = _ShmChunkFeaturizer(
+                    shared.handle, self.catalog.counter_mask,
+                    self.trim_frac, self.method,
+                )
+                items = [
+                    np.asarray(corpus.offsets[int(idx[0]):int(idx[-1]) + 2])
+                    for idx in parts
+                ]
+                return np.vstack(executor.map(worker, items))
+        worker = _ChunkFeaturizer(
+            self.catalog.counter_mask, self.trim_frac, self.method
+        )
+        chunks = [corpus.chunk(int(idx[0]), int(idx[-1]) + 1) for idx in parts]
+        return np.vstack(executor.map(worker, chunks))
 
     def _featurize_all(self, runs: Sequence[RunRecord] | RunCorpus) -> np.ndarray:
         if isinstance(runs, RunCorpus):

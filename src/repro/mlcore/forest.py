@@ -16,8 +16,12 @@ query, so this class is the repo's hot path. Three levers, all opt-in:
   and bootstrap resamples are index views, never matrix copies.
 * :meth:`fit_binned` accepts a pre-binned :class:`BinnedDataset`, letting
   callers (the AL loop) pay the binning cost once across many refits.
-* ``n_jobs`` fans tree fitting across processes via
-  :class:`repro.parallel.Executor`.
+* ``n_jobs`` fans tree fitting across the process-wide warm pool
+  (:func:`repro.parallel.shared_executor`). Under the process backend
+  the code matrices cross into workers through shared-memory segments
+  (:mod:`repro.parallel.shm`) and each task carries only its seed chunk;
+  the thread backend shares the parent's arrays outright, which is the
+  zero-overhead choice when the affinity mask offers a single core.
 
 Every tree derives its own RNG stream from a seed drawn up front from the
 root generator, so seeded fits are bit-identical at any ``n_jobs`` and for
@@ -26,9 +30,12 @@ either dispatch order.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
+
 import numpy as np
 
-from ..parallel.executor import Executor
+from ..parallel.executor import shared_executor
+from ..parallel.shm import SharedArray, SharedArrayHandle
 from .base import (
     BaseEstimator,
     ClassifierMixin,
@@ -89,6 +96,61 @@ def _fit_tree_chunk(args: tuple) -> list[DecisionTreeClassifier]:
     return trees
 
 
+class _ShmTreeFitter:
+    """Worker body with its training matrices parked in shared memory.
+
+    Shipped **once per pool** via the executor's function cache; each
+    work item is a seed chunk (a handful of ints), so refitting a forest
+    never re-pickles the dataset. Workers attach to the segments, build
+    the same args tuple :func:`_fit_tree_chunk` has always consumed, and
+    detach before returning their trees.
+    """
+
+    def __init__(
+        self,
+        tree_params: dict,
+        edges: list[np.ndarray] | None,
+        y: np.ndarray,
+        n_classes: int,
+        bootstrap: bool,
+        codes_handle: SharedArrayHandle | None,
+        codes_T_handle: SharedArrayHandle | None,
+        X_handle: SharedArrayHandle | None,
+    ):
+        self.tree_params = tree_params
+        self.edges = edges
+        self.y = y
+        self.n_classes = n_classes
+        self.bootstrap = bootstrap
+        self.codes_handle = codes_handle
+        self.codes_T_handle = codes_T_handle
+        self.X_handle = X_handle
+
+    def __call__(self, seeds: np.ndarray) -> list[DecisionTreeClassifier]:
+        attachments = []
+        try:
+            codes_mat = codes_T = X = None
+            if self.codes_handle is not None:
+                att = self.codes_handle.open()
+                attachments.append(att)
+                codes_mat = att.array
+            if self.codes_T_handle is not None:
+                att = self.codes_T_handle.open()
+                attachments.append(att)
+                codes_T = att.array
+            if self.X_handle is not None:
+                att = self.X_handle.open()
+                attachments.append(att)
+                X = att.array
+            return _fit_tree_chunk(
+                (self.tree_params, codes_mat, self.edges, X, self.y,
+                 self.n_classes, self.bootstrap, seeds, codes_T)
+            )
+        finally:
+            for att in attachments:
+                att.close()
+
+
 class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     """Bagged ensemble of CART trees with feature subsampling.
 
@@ -110,8 +172,12 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
     max_bins:
         Bins per feature for the hist splitter (ignored for exact).
     n_jobs:
-        Worker processes for tree fitting; ``1`` fits serially in-process.
+        Workers for tree fitting; ``1`` fits serially in-process.
         Seeded results are identical for every setting.
+    backend:
+        ``"auto"`` (default), ``"thread"``, or ``"process"`` — see
+        :func:`repro.parallel.resolve_backend`. Fits are bit-identical
+        across backends; only the transport differs.
     """
 
     def __init__(
@@ -126,6 +192,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         splitter: str = "exact",
         max_bins: int = DEFAULT_FOREST_BINS,
         n_jobs: int | None = 1,
+        backend: str = "auto",
         random_state: int | np.random.Generator | None = None,
     ):
         self.n_estimators = n_estimators
@@ -138,6 +205,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.splitter = splitter
         self.max_bins = max_bins
         self.n_jobs = n_jobs
+        self.backend = backend
         self.random_state = random_state
 
     # ------------------------------------------------------------------ fit
@@ -206,25 +274,89 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         )
         n_jobs = 1 if self.n_jobs is None else max(1, self.n_jobs)
         n_chunks = min(n_jobs, self.n_estimators)
-        jobs = [
-            (tree_params, codes_mat, edges, X, y, len(self.classes_),
-             self.bootstrap, chunk, codes_T if n_jobs <= 1 else None)
-            for chunk in np.array_split(seeds, n_chunks)
-            if len(chunk)
+        seed_chunks = [
+            chunk for chunk in np.array_split(seeds, n_chunks) if len(chunk)
         ]
+        n_classes = len(self.classes_)
         if n_jobs <= 1:
-            results = [_fit_tree_chunk(job) for job in jobs]
+            results = [
+                _fit_tree_chunk(
+                    (tree_params, codes_mat, edges, X, y, n_classes,
+                     self.bootstrap, chunk, codes_T)
+                )
+                for chunk in seed_chunks
+            ]
         else:
-            with Executor(n_workers=n_jobs, chunks_per_worker=1) as ex:
-                results = ex.map(_fit_tree_chunk, jobs)
+            executor = shared_executor(n_jobs, backend=self.backend)
+            if executor.n_workers <= 1:
+                # backend="auto" on a one-core mask degrades to serial:
+                # fit in-process, the per-tree seed streams are identical
+                results = [
+                    _fit_tree_chunk(
+                        (tree_params, codes_mat, edges, X, y, n_classes,
+                         self.bootstrap, chunk, codes_T)
+                    )
+                    for chunk in seed_chunks
+                ]
+            elif executor.backend == "thread":
+                # threads share the parent's arrays outright — including
+                # the cached feature-major transpose
+                jobs = [
+                    (tree_params, codes_mat, edges, X, y, n_classes,
+                     self.bootstrap, chunk, codes_T)
+                    for chunk in seed_chunks
+                ]
+                results = executor.map(_fit_tree_chunk, jobs)
+            else:
+                results = self._fit_chunks_shm(
+                    executor, tree_params, codes_mat, edges, X, y,
+                    n_classes, seed_chunks,
+                )
         self.estimators_ = [tree for chunk in results for tree in chunk]
+        self._finish_fit()
+        return self
+
+    def _fit_chunks_shm(
+        self,
+        executor,
+        tree_params: dict,
+        codes_mat: np.ndarray | None,
+        edges: list[np.ndarray] | None,
+        X: np.ndarray | None,
+        y: np.ndarray,
+        n_classes: int,
+        seed_chunks: list[np.ndarray],
+    ) -> list[list[DecisionTreeClassifier]]:
+        """Fan seed chunks over process workers, matrices in shared memory.
+
+        The fitter object (tree params, edges, labels, segment handles)
+        ships once per pool; every task is a seed chunk. Segments are
+        unlinked on exit — including when a worker raises — because this
+        process owns them and the ``ExitStack`` closes them.
+        """
+        with ExitStack() as stack:
+            codes_handle = codes_T_handle = X_handle = None
+            if codes_mat is not None:
+                # hist path: always reached via fit_binned, which stashed
+                # the dataset; share codes + the cached transpose once
+                sh_codes, sh_codes_T = self.binned_dataset_.share()
+                codes_handle = stack.enter_context(sh_codes).handle
+                codes_T_handle = stack.enter_context(sh_codes_T).handle
+            else:
+                X_handle = stack.enter_context(SharedArray(X)).handle
+            fitter = _ShmTreeFitter(
+                tree_params, edges, y, n_classes, self.bootstrap,
+                codes_handle, codes_T_handle, X_handle,
+            )
+            return executor.map(fitter, seed_chunks)
+
+    def _finish_fit(self) -> None:
         # map tree-local class columns into the forest-wide class list
         self._tree_class_maps = [
             np.searchsorted(self.classes_, tree.classes_)
             for tree in self.estimators_
         ]
         self._stack_trees()
-        return self
 
     # ------------------------------------------------------- stacked predict
 

@@ -1,12 +1,35 @@
-"""repro.parallel — HPC-parallel utilities (process fan-out, partitioners)."""
+"""repro.parallel — HPC-parallel utilities (pools, partitioners, shared memory)."""
 
-from .executor import Executor, default_workers
+from .executor import (
+    Executor,
+    close_shared_executors,
+    default_workers,
+    effective_cpu_count,
+    resolve_backend,
+    shared_executor,
+)
 from .partition import block_partition, chunk_sizes, cyclic_partition
+from .shm import (
+    SHM_PREFIX,
+    AttachedArray,
+    SharedArray,
+    SharedArrayHandle,
+    active_segments,
+)
 
 __all__ = [
+    "AttachedArray",
     "Executor",
+    "SHM_PREFIX",
+    "SharedArray",
+    "SharedArrayHandle",
+    "active_segments",
     "block_partition",
     "chunk_sizes",
+    "close_shared_executors",
     "cyclic_partition",
     "default_workers",
+    "effective_cpu_count",
+    "resolve_backend",
+    "shared_executor",
 ]

@@ -1,0 +1,176 @@
+"""Zero-copy array transport over POSIX shared memory.
+
+Process pools pay for data twice: the parent pickles every task's arrays
+into a pipe and each worker unpickles its own private copy. For the data
+plane's packed corpus buffers and the training core's binned code
+matrices that copy tax dominates the work itself on small refits. This
+module moves the arrays out of band:
+
+* :class:`SharedArray` — the **parent-side owner**. Copies an ndarray
+  into one ``multiprocessing.shared_memory`` segment exactly once and
+  guarantees the segment is unlinked when the owner is closed, including
+  on the exception path (context manager) and as a last resort at
+  garbage collection / interpreter exit (``weakref.finalize``).
+* :class:`SharedArrayHandle` — the **picklable descriptor** (segment
+  name, shape, dtype). This is what rides the task pickle: a few dozen
+  bytes regardless of array size.
+* :class:`AttachedArray` — the **worker-side view**. ``handle.open()``
+  maps the segment and exposes ``.array``; closing drops the mapping but
+  never unlinks (lifetime belongs to the owner). Attaching deregisters
+  the segment from the worker's resource tracker so the tracker never
+  double-accounts (CPython registers on attach too; see bpo-39959).
+
+Ownership rule: exactly one :class:`SharedArray` per segment, and the
+process that created it unlinks it. Workers only ever attach. The names
+all carry a ``repro_`` prefix so test teardowns and CI can assert that
+``/dev/shm`` holds no leftovers (:func:`active_segments`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SHM_PREFIX",
+    "AttachedArray",
+    "SharedArray",
+    "SharedArrayHandle",
+    "active_segments",
+]
+
+SHM_PREFIX = "repro_"
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def active_segments() -> list[str]:
+    """Names of live ``repro_``-prefixed segments on this machine.
+
+    The leak oracle for tests and CI: after a bench or campaign
+    completes, this list must be empty. Returns ``[]`` on platforms
+    without a ``/dev/shm`` tmpfs (the owner-side guarantees still hold;
+    only the external audit is unavailable).
+    """
+    if not _SHM_DIR.is_dir():
+        return []
+    return sorted(p.name for p in _SHM_DIR.iterdir() if p.name.startswith(SHM_PREFIX))
+
+
+def _unregister(name: str) -> None:
+    """Drop a segment from this process's resource-tracker ledger.
+
+    CPython's ``SharedMemory`` registers on *attach* as well as on
+    create, so an attaching worker's tracker believes it owns the
+    segment and may unlink it early or warn at exit. Only the creating
+    process should keep the registration. Fork-started workers *share*
+    the parent's tracker (the attach-register collapses into the
+    parent's entry), so unregistering there would strip the owner's own
+    ledger entry — skip it; only spawn-style children run their own
+    tracker and need the correction.
+    """
+    try:
+        if multiprocessing.get_start_method() == "fork":
+            return
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # repro-lint: disable=EH001 -- tracker may be absent or already clean; the registration is advisory
+        pass
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable coordinates of one array living in a shared segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def open(self) -> "AttachedArray":
+        """Attach to the segment and view it as an ndarray (worker side)."""
+        return AttachedArray(self)
+
+
+class AttachedArray:
+    """A worker-side mapping of a :class:`SharedArray` segment.
+
+    Use as a context manager; ``.array`` is a view into the segment and
+    must not escape the ``with`` block. Closing unmaps but never unlinks.
+    """
+
+    def __init__(self, handle: SharedArrayHandle):
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            name=handle.name
+        )
+        _unregister(handle.name)
+        self.array = np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=self._shm.buf
+        )
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self.array = None
+            self._shm.close()
+            self._shm = None
+
+    def __enter__(self) -> "AttachedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def _release(shm: shared_memory.SharedMemory) -> None:
+    """Unlink then unmap one owned segment (finalizer body)."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked (e.g. by a paranoid test)
+        pass
+    shm.close()
+
+
+class SharedArray:
+    """Parent-side owner of one ndarray in one shared-memory segment.
+
+    The array is copied into the segment once at construction; workers
+    attach via the pickled :attr:`handle` instead of receiving copies.
+    The segment is unlinked by :meth:`close` — called by ``__exit__`` on
+    both the normal and exception paths — with a ``weakref.finalize``
+    backstop so an abandoned owner still cleans up at GC or interpreter
+    exit. Worker crashes cannot leak the segment: workers never own it.
+    """
+
+    def __init__(self, array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        name = f"{SHM_PREFIX}{secrets.token_hex(8)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes), name=name
+        )
+        self._finalizer = weakref.finalize(self, _release, self._shm)
+        self.array: np.ndarray = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=self._shm.buf
+        )
+        self.array[...] = array
+        self.handle = SharedArrayHandle(name, tuple(array.shape), str(array.dtype))
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Unlink and unmap the segment; safe to call twice."""
+        self.array = None
+        self._finalizer()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

@@ -24,6 +24,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..parallel.shm import SharedArray
 from .collector import HEALTHY, RunRecord
 
 __all__ = ["RunCorpus"]
@@ -110,6 +111,17 @@ class RunCorpus:
         return [self.record(i) for i in range(len(self))]
 
     # ------------------------------------------------------------------
+    def share(self) -> SharedArray:
+        """Copy the packed buffer into one shared-memory segment.
+
+        The returned :class:`~repro.parallel.shm.SharedArray` is the
+        parent-side owner (close it — ideally via ``with`` — to unlink);
+        workers attach through its picklable ``handle`` and index runs
+        with this corpus's ``offsets``, so fanning a campaign over a
+        process pool ships row offsets instead of telemetry.
+        """
+        return SharedArray(self.buffer)
+
     def chunk(self, lo: int, hi: int) -> "RunCorpus":
         """Runs ``lo:hi`` as a new corpus sharing this one's buffer.
 

@@ -1,4 +1,4 @@
-"""Fixture tests for the resource-lifecycle checker (RL001/RL002/RL003)."""
+"""Fixture tests for the resource-lifecycle checker (RL001-RL004)."""
 
 import textwrap
 
@@ -169,5 +169,70 @@ class TestRL003AtomicWrites:
                 path.write_text(text)
             """,
             path="src/repro/mlcore/fixture.py",
+        )
+        assert findings == []
+
+
+class TestRL004SharedMemory:
+    def test_segment_without_unlink_story_fires(self):
+        findings = _lint(
+            """
+            from multiprocessing import shared_memory
+
+            def make(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                return shm
+
+            def drop(shm):
+                shm.close()
+            """
+        )
+        assert rules(findings) == ["RL004"]
+
+    def test_attach_without_unlink_story_fires(self):
+        # attachments close() rather than unlink, but a file that only
+        # ever attaches still needs the owner-side story spelled out
+        # somewhere — the rule asks each file for evidence, and the
+        # sanctioned wrappers (repro.parallel.shm) carry it
+        findings = _lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                return SharedMemory(name=name)
+            """
+        )
+        assert rules(findings) == ["RL004"]
+
+    def test_unlink_in_file_is_clean(self):
+        findings = _lint(
+            """
+            from multiprocessing import shared_memory
+
+            def make(nbytes):
+                return shared_memory.SharedMemory(create=True, size=nbytes)
+
+            def release(shm):
+                shm.unlink()
+                shm.close()
+            """
+        )
+        assert findings == []
+
+    def test_weakref_finalize_is_clean(self):
+        # finalize evidence alone suffices: the release helper may live
+        # in another module (as repro.parallel.shm's _release does)
+        findings = _lint(
+            """
+            import weakref
+            from multiprocessing import shared_memory
+
+            from somewhere import release_segment
+
+            def make(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                weakref.finalize(shm, release_segment, shm)
+                return shm
+            """
         )
         assert findings == []

@@ -126,6 +126,36 @@ class TestForestDeterminism:
         assert np.array_equal(probas[0], probas[1])
         assert np.array_equal(probas[0], probas[2])
 
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_bit_identical_forced_process_backend(self, splitter):
+        """The shared-memory transport must not move a single bit.
+
+        ``backend="auto"`` may degrade to the serial path on a one-core
+        box, so force the process backend: workers attach the code
+        matrices (hist) or the raw feature matrix (exact) from
+        ``/dev/shm`` and every segment must be gone afterwards.
+        """
+        from repro.parallel import active_segments
+
+        before = set(active_segments())
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(200, 6))
+        y = (X[:, 0] > 0).astype(int)
+        probas = []
+        for n_jobs in (1, 2, 4):
+            m = RandomForestClassifier(
+                n_estimators=8,
+                max_depth=6,
+                splitter=splitter,
+                n_jobs=n_jobs,
+                backend="process",
+                random_state=42,
+            ).fit(X, y)
+            probas.append(m.predict_proba(X))
+        assert np.array_equal(probas[0], probas[1])
+        assert np.array_equal(probas[0], probas[2])
+        assert set(active_segments()) == before
+
     def test_stacked_predict_matches_per_tree_average(self):
         rng = np.random.default_rng(12)
         X = rng.normal(size=(150, 5))

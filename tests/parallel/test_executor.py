@@ -1,10 +1,20 @@
-"""Tests for the chunked process-pool executor."""
+"""Tests for the chunked thread/process-pool executor."""
 
 import os
+import pickle
+import threading
+import time
 
 import pytest
 
-from repro.parallel.executor import Executor, default_workers
+from repro.parallel.executor import (
+    Executor,
+    close_shared_executors,
+    default_workers,
+    effective_cpu_count,
+    resolve_backend,
+    shared_executor,
+)
 
 
 def _square(x):
@@ -61,24 +71,156 @@ class TestConfig:
         assert Executor(n_workers=-3).n_workers == 1
 
 
+class TestEffectiveCpuCount:
+    """Pool sizing must follow the affinity mask, not the machine.
+
+    HPC batch systems pin jobs to a core subset; ``os.cpu_count()``
+    reports the whole node and oversubscribes the mask.
+    """
+
+    def test_uses_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(3)))
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert effective_cpu_count() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert effective_cpu_count() == 6
+
+    def test_falls_back_when_affinity_raises(self, monkeypatch):
+        def _boom(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", _boom)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert effective_cpu_count() == 2
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert effective_cpu_count() == 1
+
+
 class TestDefaultWorkers:
     """The engine's serving path leans on these defaults; pin them down."""
 
     def test_leaves_one_core_free(self, monkeypatch):
-        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(8)))
         assert default_workers() == 7
 
-    def test_single_core_box_still_gets_one_worker(self, monkeypatch):
-        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    def test_single_core_mask_still_gets_one_worker(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
         assert default_workers() == 1
 
     def test_unknown_core_count_falls_back(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: None)
         assert default_workers() == 1
 
     def test_none_n_workers_uses_default(self, monkeypatch):
-        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(5)))
         assert Executor(n_workers=None).n_workers == 4
+
+
+class TestBackends:
+    def test_thread_backend_matches_serial(self):
+        with Executor(n_workers=4, backend="thread") as ex:
+            assert ex.map(_square, range(30)) == [i * i for i in range(30)]
+
+    def test_thread_backend_keeps_unpicklable_fns(self):
+        # no pickle boundary: closures are fine on the thread backend
+        offset = 7
+        with Executor(n_workers=2, backend="thread") as ex:
+            assert ex.map(lambda x: x + offset, range(6)) == list(range(7, 13))
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            Executor(n_workers=2, backend="greenlet")
+
+    def test_resolve_auto_multicore_is_process(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(4)))
+        assert resolve_backend("auto") == "process"
+
+    def test_resolve_auto_one_core_is_thread(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+        assert resolve_backend("auto") == "thread"
+
+    def test_auto_on_one_core_clamps_workers(self, monkeypatch):
+        # n_jobs must never be a slowdown: on a one-core mask auto
+        # degrades to the serial path instead of thrashing the GIL
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+        assert Executor(n_workers=8, backend="auto").n_workers == 1
+
+    def test_explicit_thread_backend_keeps_requested_workers(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+        assert Executor(n_workers=8, backend="thread").n_workers == 8
+
+    def test_auto_multicore_keeps_requested_workers(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(4)))
+        ex = Executor(n_workers=8, backend="auto")
+        assert ex.backend == "process"
+        assert ex.n_workers == 8
+
+
+def _slow_square(x):
+    time.sleep(0.02)
+    return x * x
+
+
+class TestCloseMapRace:
+    """Regression: close() racing an in-flight map must not break the pool.
+
+    The old executor shut the pool down under a running ``pool.map``,
+    surfacing ``BrokenProcessPool`` from the mapping thread. ``map`` and
+    ``close`` now serialize on the executor lock: close waits for the
+    in-flight map, and a later map lazily restarts the pool.
+    """
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_close_waits_for_inflight_map(self, backend):
+        ex = Executor(n_workers=2, backend=backend)
+        results: list = []
+        errors: list = []
+
+        def _mapper():
+            try:
+                results.append(ex.map(_slow_square, range(8)))
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        t = threading.Thread(target=_mapper)
+        t.start()
+        time.sleep(0.05)  # let the map reach the pool
+        ex.close()
+        t.join(timeout=30.0)
+        assert not t.is_alive()
+        assert errors == []
+        assert results == [[i * i for i in range(8)]]
+        # the executor stays usable after the racing close
+        assert ex.map(_square, range(4)) == [0, 1, 4, 9]
+        ex.close()
+
+
+class TestSharedExecutors:
+    def test_same_key_returns_same_instance(self):
+        a = shared_executor(2, backend="thread")
+        b = shared_executor(2, backend="thread")
+        assert a is b
+
+    def test_distinct_keys_get_distinct_pools(self):
+        a = shared_executor(2, backend="thread")
+        b = shared_executor(3, backend="thread")
+        assert a is not b
+
+    def test_close_shared_executors_resets_registry(self):
+        a = shared_executor(2, backend="thread")
+        close_shared_executors()
+        assert shared_executor(2, backend="thread") is not a
+
+    def test_auto_key_resolves_per_machine(self):
+        ex = shared_executor(2, backend="auto")
+        assert ex.backend == resolve_backend("auto")
 
 
 class TestSerialFallback:
@@ -157,8 +299,6 @@ class TestPoolReuse:
     def test_executor_with_live_pool_is_picklable(self):
         # objects that reference their executor (a bound map_fn) get
         # pickled into worker processes; the live pool must not ride along
-        import pickle
-
         ex = Executor(n_workers=2)
         try:
             ex.map(_square, range(4))  # starts the pool
@@ -169,3 +309,46 @@ class TestPoolReuse:
             clone.close()
         finally:
             ex.close()
+
+    def test_executor_with_live_thread_pool_is_picklable(self):
+        ex = Executor(n_workers=2, backend="thread")
+        try:
+            ex.map(_square, range(4))
+            clone = pickle.loads(pickle.dumps(ex))
+            assert clone._pool is None
+            assert clone.backend == "thread"
+            assert clone.map(_square, range(3)) == [0, 1, 4]
+            clone.close()
+        finally:
+            ex.close()
+
+
+def _cube(x):
+    return x * x * x
+
+
+class TestWorkerFnCache:
+    """The map function ships once per pool, not once per chunk."""
+
+    def test_pool_is_seeded_with_first_fn(self):
+        with Executor(n_workers=2, backend="process") as ex:
+            ex.map(_square, range(8))
+            assert ex._seeded_digest is not None
+
+    def test_same_fn_reuses_seeded_pool(self):
+        with Executor(n_workers=2, backend="process") as ex:
+            ex.map(_square, range(8))
+            pool = ex._pool
+            assert ex.map(_square, range(8)) == [i * i for i in range(8)]
+            assert ex._pool is pool
+
+    def test_different_fn_same_pool_still_correct(self):
+        with Executor(n_workers=2, backend="process") as ex:
+            assert ex.map(_square, range(6)) == [i * i for i in range(6)]
+            assert ex.map(_cube, range(6)) == [i ** 3 for i in range(6)]
+
+    def test_seed_cleared_on_close(self):
+        ex = Executor(n_workers=2, backend="process")
+        ex.map(_square, range(8))
+        ex.close()
+        assert ex._seeded_digest is None
