@@ -14,7 +14,10 @@ Measures the three claims of the binned-core work and records them in
   processes otherwise, so ``n_jobs`` is never a slowdown);
 * active-learning refits: 50 query rounds end-to-end, exact (no cache)
   vs hist with the cross-refit bin cache, plus a cache-run repeat to pin
-  the seeded query sequence.
+  the seeded query sequence;
+* incremental refits: the same hist-cached AL run with
+  ``warm_start=True`` (partial forest regrowth + delta pool scoring)
+  against the cold hist arm, at matched final F1.
 
 Timing protocol: this box throttles under sustained load (repeated
 identical runs drift ~25%), so competing configs are *interleaved* and
@@ -189,23 +192,24 @@ class TestForestFit:
             )
 
 
-class TestActiveLearningRefits:
-    def _problem(self):
-        rng = np.random.default_rng(0)
-        centers = rng.normal(size=(3, AL_FEATS)) * 1.1
-        n_each = (AL_SEED + AL_POOL + AL_TEST) // 3 + 1
-        X = np.vstack(
-            [c + rng.normal(size=(n_each, AL_FEATS)) for c in centers]
-        )
-        y = np.repeat(np.arange(3), n_each)
-        perm = rng.permutation(len(y))
-        X, y = X[perm], y[perm]
-        s, p = AL_SEED, AL_SEED + AL_POOL
-        t = p + AL_TEST
-        return X[:s], y[:s], X[s:p], y[s:p], X[p:t], y[p:t]
+def _al_problem():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(3, AL_FEATS)) * 1.1
+    n_each = (AL_SEED + AL_POOL + AL_TEST) // 3 + 1
+    X = np.vstack(
+        [c + rng.normal(size=(n_each, AL_FEATS)) for c in centers]
+    )
+    y = np.repeat(np.arange(3), n_each)
+    perm = rng.permutation(len(y))
+    X, y = X[perm], y[perm]
+    s, p = AL_SEED, AL_SEED + AL_POOL
+    t = p + AL_TEST
+    return X[:s], y[:s], X[s:p], y[s:p], X[p:t], y[p:t]
 
+
+class TestActiveLearningRefits:
     def _run(self, est):
-        Xs, ys, Xp, yp, Xt, yt = self._problem()
+        Xs, ys, Xp, yp, Xt, yt = _al_problem()
         t0 = time.perf_counter()
         res = run_active_learning(
             est, "uncertainty", Xs, ys, Xp, yp, Xt, yt,
@@ -252,6 +256,71 @@ class TestActiveLearningRefits:
             assert speedup >= 3.0
 
 
+class TestIncrementalRefits:
+    """Warm-start refits vs cold hist-cached refits on the same AL run.
+
+    Both arms share the bin cache; the only difference is that the warm
+    arm keeps most of the forest across rounds (regrowing a seeded
+    ``REFRESH_FRACTION`` subset and absorbing the new row into kept
+    leaves) while the cold arm regrows every tree every round. Arms are
+    interleaved rep-by-rep for the same thermal-fairness reason as the
+    other benches.
+    """
+
+    REFRESH_FRACTION = 0.2
+
+    def _run(self, warm: bool):
+        Xs, ys, Xp, yp, Xt, yt = _al_problem()
+        est = RandomForestClassifier(
+            n_estimators=AL_TREES, max_depth=8,
+            splitter="hist", random_state=1,
+        )
+        t0 = time.perf_counter()
+        res = run_active_learning(
+            est, "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            n_queries=AL_ROUNDS, random_state=7,
+            warm_start=warm, refresh_fraction=self.REFRESH_FRACTION,
+        )
+        return time.perf_counter() - t0, res
+
+    def test_incremental_bench(self):
+        times: dict[str, list[float]] = {"cold": [], "warm": []}
+        results: dict[str, object] = {}
+        for _rep in range(REPS):
+            for arm in ("cold", "warm"):
+                t, res = self._run(warm=arm == "warm")
+                times[arm].append(t)
+                results[arm] = res
+        med = {arm: float(np.median(ts)) for arm, ts in times.items()}
+        speedup = med["cold"] / med["warm"]
+        r_cold, r_warm = results["cold"], results["warm"]
+
+        _update_results(
+            "al_incremental",
+            {
+                "seed_rows": AL_SEED,
+                "pool_rows": AL_POOL,
+                "n_features": AL_FEATS,
+                "n_trees": AL_TREES,
+                "rounds": AL_ROUNDS,
+                "reps": REPS,
+                "refresh_fraction": self.REFRESH_FRACTION,
+                "cold_s": round(med["cold"], 2),
+                "warm_s": round(med["warm"], 2),
+                "speedup": round(speedup, 2),
+                "final_f1_cold": round(r_cold.final_f1, 4),
+                "final_f1_warm": round(r_warm.final_f1, 4),
+                "f1_matched": r_cold.final_f1 == r_warm.final_f1,
+            },
+        )
+        # the warm arm must buy wall clock without giving up accuracy
+        assert r_cold.final_f1 == r_warm.final_f1
+        if SMOKE:
+            assert speedup > 1.0
+        else:
+            assert speedup >= 2.0
+
+
 class TestBaselineGate:
     def test_no_regression_vs_committed_baseline(self):
         """CI gate: fail when any recorded timing is >2x the baseline."""
@@ -268,6 +337,7 @@ class TestBaselineGate:
         checks = {
             "forest_fit.primary.hist_s": lambda d: d["forest_fit"]["primary"]["hist_s"],
             "al_refits.hist_cached_s": lambda d: d["al_refits"]["hist_cached_s"],
+            "al_incremental.warm_s": lambda d: d["al_incremental"]["warm_s"],
         }
         regressions = []
         for name, get in checks.items():

@@ -42,13 +42,24 @@ class ActiveLearner:
         pretrained autoencoder survives refits.
     binner:
         Optional fitted :class:`repro.mlcore.binning.Binner`. When given,
-        the learner keeps a bin-code row alongside every labeled sample
-        and refits via the estimator's ``fit_binned`` — re-training on a
-        grown labeled set then costs a row-stack of cached codes instead
-        of a fresh quantization (the cross-refit bin cache).
+        the learner keeps a growable :class:`BinnedDataset` of code rows
+        alongside the labeled samples and refits via the estimator's
+        ``fit_binned`` — re-training on a grown labeled set then costs an
+        amortized O(1) code append instead of a fresh quantization (the
+        cross-refit bin cache).
     initial_codes:
         Pre-binned codes for ``X_initial`` (skips one ``transform`` when
         the caller binned seed and pool together).
+    warm_start:
+        When true, refits go through the estimator's ``refit`` — trees
+        survive across rounds, a seeded schedule regrows a
+        ``refresh_fraction`` subset, kept trees absorb the new rows into
+        their leaf counts. Requires the bin cache and a ``refit``-capable
+        estimator. The :class:`RefitReport` of the latest warm refit is
+        exposed via :meth:`take_refit_report` for delta pool scoring.
+    refresh_fraction:
+        Fraction of trees regrown per warm refit (``1.0`` is bit-exact
+        to a cold refit on the stacked data).
     """
 
     def __init__(
@@ -62,6 +73,8 @@ class ActiveLearner:
         clone_fn: Callable[[BaseEstimator], BaseEstimator] = clone,
         binner=None,
         initial_codes: np.ndarray | None = None,
+        warm_start: bool = False,
+        refresh_fraction: float = 0.25,
     ):
         if refit_every < 1:
             raise ValueError(f"refit_every must be >= 1, got {refit_every}")
@@ -78,7 +91,7 @@ class ActiveLearner:
         self._X = [row for row in X_initial]
         self._y = list(y_initial)
         self._binner = binner
-        self._codes: list[np.ndarray] | None = None
+        self._binned = None
         if binner is not None:
             if not hasattr(estimator, "fit_binned"):
                 raise TypeError(
@@ -87,19 +100,36 @@ class ActiveLearner:
                 )
             if initial_codes is None:
                 initial_codes = binner.transform(X_initial)
-            self._codes = [row for row in np.asarray(initial_codes)]
+            from ..mlcore.binning import BinnedDataset
+
+            self._binned = BinnedDataset(
+                np.ascontiguousarray(np.asarray(initial_codes, dtype=np.uint8)),
+                binner,
+            )
+        if warm_start:
+            if binner is None:
+                raise TypeError("warm_start needs the bin cache (binner=...)")
+            if not hasattr(estimator, "refit"):
+                raise TypeError(
+                    f"{type(estimator).__name__} has no refit; "
+                    "warm_start needs a warm-refittable estimator"
+                )
+            if not 0.0 < refresh_fraction <= 1.0:
+                raise ValueError(
+                    f"refresh_fraction must be in (0, 1], got {refresh_fraction}"
+                )
+        self.warm_start = warm_start
+        self.refresh_fraction = refresh_fraction
+        # rows taught since the last warm refit: (x, y, code_row) triples
+        self._pending_warm: list[tuple[np.ndarray, object, np.ndarray]] = []
+        self._last_report = None
         self._pending = 0
         self.model = clone_fn(estimator)
         self._fit_model()
 
     def _fit_model(self) -> None:
-        if self._binner is not None:
-            from ..mlcore.binning import BinnedDataset
-
-            self.model.fit_binned(
-                BinnedDataset(np.vstack(self._codes), self._binner),
-                self.y_labeled,
-            )
+        if self._binned is not None:
+            self.model.fit_binned(self._binned, self.y_labeled)
         else:
             self.model.fit(self.X_labeled, self.y_labeled)
 
@@ -142,24 +172,50 @@ class ActiveLearner:
             )
         self._X.append(x)
         self._y.append(y)
-        if self._codes is not None:
+        if self._binned is not None:
             if codes is None:
                 codes = self._binner.transform(x[None, :])[0]
-            self._codes.append(np.asarray(codes, dtype=np.uint8).ravel())
+            codes = np.asarray(codes, dtype=np.uint8).ravel()
+            if self.warm_start:
+                # the forest owns dataset growth inside refit; only stash
+                # the row until the next warm refit folds it in
+                self._pending_warm.append((x, y, codes))
+            else:
+                self._binned = self._binned.append_codes(codes[None, :])
         self._pending += 1
         if self._pending >= self.refit_every:
             self._refit()
         return self
 
     def _refit(self) -> None:
-        self.model = self._clone_fn(self._prototype)
-        self._fit_model()
+        if self.warm_start:
+            self._last_report = self.model.refit(
+                np.vstack([p[0] for p in self._pending_warm]),
+                np.asarray([p[1] for p in self._pending_warm]),
+                codes=np.vstack([p[2] for p in self._pending_warm]),
+                refresh_fraction=self.refresh_fraction,
+            )
+            self._binned = self.model.binned_dataset_
+            self._pending_warm.clear()
+        else:
+            self.model = self._clone_fn(self._prototype)
+            self._fit_model()
+            self._last_report = None
         self._pending = 0
 
     def flush(self) -> None:
         """Force a refit if any taught samples are pending."""
         if self._pending:
             self._refit()
+
+    def take_refit_report(self):
+        """Pop the :class:`RefitReport` of the latest warm refit (or None).
+
+        Consumed by the AL loop's delta pool scorer; a cold refit (or no
+        refit since the last call) yields ``None``.
+        """
+        report, self._last_report = self._last_report, None
+        return report
 
     # convenience passthroughs -----------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:

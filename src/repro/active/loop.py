@@ -25,7 +25,7 @@ from ..mlcore.metrics import (
 from .baselines import EqualAppSelector, ProctorModel, clone_with_representation
 from .learner import ActiveLearner
 from .oracle import Oracle
-from .strategies import StrategyFn
+from .strategies import DeltaPoolScorer, StrategyFn, select_from_proba, strategy_name
 
 __all__ = ["ALResult", "run_active_learning", "queries_to_reach"]
 
@@ -87,6 +87,8 @@ def run_active_learning(
     eval_every: int = 1,
     oracle_noise: float = 0.0,
     bin_cache: bool | str = "auto",
+    warm_start: bool | str = False,
+    refresh_fraction: float = 0.25,
     random_state: int | np.random.Generator | None = None,
 ) -> ALResult:
     """Run one full query→label→re-train→evaluate experiment.
@@ -118,6 +120,20 @@ def run_active_learning(
         refit row-stacks cached codes, and each queried sample's codes
         are looked up instead of recomputed. ``True`` forces it (raises
         if the estimator has no ``fit_binned``), ``False`` disables.
+    warm_start:
+        Incremental refits. ``"auto"`` activates when the bin cache is on
+        and the estimator supports ``refit`` (a ``splitter="hist"``
+        forest): trees survive across rounds, each refit regrows only a
+        seeded ``refresh_fraction`` subset and folds the new row into the
+        kept trees' leaf counts. Named strategies then also use **delta
+        pool scoring** — only replaced trees re-descend the pool each
+        round, and the maintained scores are bitwise-equal to full
+        re-scoring. ``True`` forces it (raises without cache/refit
+        support), ``False`` (default) keeps cold per-round refits.
+    refresh_fraction:
+        Fraction of trees regrown per warm refit. ``1.0`` makes every
+        round bit-identical to the cold path (same queries, same curves);
+        smaller fractions trade fidelity for refit cost.
 
     Returns
     -------
@@ -170,6 +186,25 @@ def run_active_learning(
         seed_codes = codes_all[: len(X_seed)]
         pool_codes = codes_all[len(X_seed) :]
 
+    if warm_start not in (True, False, "auto"):
+        raise ValueError(
+            f"warm_start must be True/False/'auto', got {warm_start!r}"
+        )
+    use_warm = warm_start is True or (
+        warm_start == "auto" and use_cache and hasattr(estimator, "refit")
+    )
+    if warm_start is True:
+        if not use_cache:
+            raise TypeError(
+                "warm_start=True needs the bin cache; pass bin_cache=True "
+                "or use a hist-splitter estimator"
+            )
+        if not hasattr(estimator, "refit"):
+            raise TypeError(
+                f"warm_start=True needs an estimator with refit; "
+                f"{type(estimator).__name__} has none"
+            )
+
     learner = ActiveLearner(
         estimator,
         strategy,
@@ -179,7 +214,15 @@ def run_active_learning(
         clone_fn=clone_fn,
         binner=binner,
         initial_codes=seed_codes,
+        warm_start=use_warm,
+        refresh_fraction=refresh_fraction,
     )
+
+    # delta pool scoring: only meaningful under warm refits (the model
+    # object persists) and only for named strategies whose selection rule
+    # we can apply to a maintained probability matrix
+    sel_name = strategy_name(strategy) if use_warm else None
+    scorer = DeltaPoolScorer(learner.model, X_pool) if sel_name else None
 
     def evaluate() -> tuple[float, float, float]:
         pred = learner.predict(X_test)
@@ -206,7 +249,10 @@ def run_active_learning(
     for q in range(budget):
         if target_f1 is not None and f1_curve[-1] >= target_f1:
             break
-        local_idx = learner.query(X_pool[alive])
+        if scorer is not None:
+            local_idx = select_from_proba(sel_name, scorer.proba())
+        else:
+            local_idx = learner.query(X_pool[alive])
         orig_idx = int(alive[local_idx])
         label = oracle.label(orig_idx)
         queried_labels.append(label)
@@ -218,10 +264,15 @@ def run_active_learning(
             codes=None if pool_codes is None else pool_codes[orig_idx],
         )
         alive = np.delete(alive, local_idx)
+        if scorer is not None:
+            scorer.drop(local_idx)
+            scorer.apply(learner.take_refit_report(), X_pool[alive])
         if equal_app is not None:
             equal_app.remove(local_idx)
         if (q + 1) % eval_every == 0 or q == budget - 1:
             learner.flush()
+            if scorer is not None:
+                scorer.apply(learner.take_refit_report(), X_pool[alive])
             f1_q, far_q, amr_q = evaluate()
             n_labeled.append(learner.n_labeled)
             f1_curve.append(f1_q)

@@ -29,6 +29,9 @@ __all__ = [
     "margin_sampling",
     "entropy_sampling",
     "get_strategy",
+    "strategy_name",
+    "select_from_proba",
+    "DeltaPoolScorer",
     "STRATEGIES",
 ]
 
@@ -110,3 +113,134 @@ def get_strategy(name: str) -> StrategyFn:
         raise ValueError(
             f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
+
+
+# scoring function + selection rule per canonical strategy; used by the
+# delta-scoring fast path, which works from a maintained probability
+# matrix instead of calling model.predict_proba
+_SELECTORS: dict[str, tuple[Callable[[np.ndarray], np.ndarray], Callable]] = {
+    "uncertainty": (uncertainty_scores, np.argmax),
+    "margin": (margin_scores, np.argmin),
+    "entropy": (entropy_scores, np.argmax),
+}
+
+
+def strategy_name(strategy: str | StrategyFn) -> str | None:
+    """Canonical name of a strategy, or ``None`` for custom callables.
+
+    Accepts both the string form and the canonical selector callables
+    (``framework.learn`` resolves names to callables before handing them
+    to the loop). Only named strategies can use delta pool scoring — a
+    custom callable may inspect the model arbitrarily, so the loop falls
+    back to full re-scoring for those.
+    """
+    if isinstance(strategy, str):
+        return strategy if strategy in STRATEGIES else None
+    for name, fn in STRATEGIES.items():
+        if strategy is fn:
+            return name
+    return None
+
+
+def select_from_proba(name: str, proba: np.ndarray) -> int:
+    """Apply a named strategy's selection rule to a probability matrix.
+
+    Equivalent to ``STRATEGIES[name](model, X_pool, rng)`` when ``proba``
+    equals ``model.predict_proba(X_pool)`` — same scores, same
+    argmax/argmin tie-breaking.
+    """
+    scores, pick = _SELECTORS[name]
+    return int(pick(scores(proba)))
+
+
+class DeltaPoolScorer:
+    """Running per-tree probability contributions over the pool.
+
+    ``RandomForestClassifier.predict_proba`` gathers an ``(n, trees,
+    classes)`` block of leaf distributions and sums over the tree axis.
+    This scorer keeps that block alive between refits: after a
+    warm-start :meth:`~repro.mlcore.forest.RandomForestClassifier.refit`
+    only the *replaced* trees re-descend the pool and only kept-tree rows
+    whose leaf counts actually changed are patched — O(replaced × pool)
+    descents per round instead of O(trees × pool).
+
+    :meth:`proba` re-runs the identical ``sum(axis=1) / n_trees``
+    reduction over an identically laid-out float64 block, so its output
+    is **bitwise equal** to a fresh ``predict_proba`` on the same rows —
+    the query sequence cannot drift from the full re-scoring path.
+    """
+
+    def __init__(self, forest, X_pool: np.ndarray):
+        self._forest = forest
+        self._bind(np.asarray(X_pool, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    def _bind(self, X_pool: np.ndarray) -> None:
+        """Full rebuild: descend every tree over the current pool."""
+        forest = self._forest
+        n, T = len(X_pool), len(forest.estimators_)
+        K = len(forest.classes_)
+        self._leaf = np.empty((n, T), dtype=np.int64)
+        self._value = np.zeros((n, T, K), dtype=np.float64)
+        for t in range(T):
+            self._refresh_tree(t, X_pool)
+
+    def _refresh_tree(self, t: int, X_pool: np.ndarray) -> None:
+        """Re-descend one tree; scatter its leaf distributions."""
+        tree = self._forest.estimators_[t]
+        cmap = self._forest._tree_class_maps[t]
+        leaves = tree._leaf_indices(X_pool)
+        self._leaf[:, t] = leaves
+        self._value[:, t, :] = 0.0
+        self._value[:, t, cmap] = tree.tree_value_[leaves]
+
+    # ------------------------------------------------------------------
+    def proba(self) -> np.ndarray:
+        """Forest probabilities for the tracked pool rows.
+
+        Bitwise-identical to ``forest.predict_proba(X_pool_alive)``: the
+        maintained block has the same values, dtype, shape, and memory
+        order as the gather inside ``predict_proba``, so the pairwise
+        summation runs in the same order.
+        """
+        return self._value.sum(axis=1) / len(self._forest.estimators_)
+
+    def drop(self, idx: int) -> None:
+        """Remove one pool row (it was queried and left the pool)."""
+        self._leaf = np.delete(self._leaf, idx, axis=0)
+        self._value = np.delete(self._value, idx, axis=0)
+
+    def apply(self, report, X_pool: np.ndarray) -> None:
+        """Fold one :class:`~repro.mlcore.forest.RefitReport` in.
+
+        ``X_pool`` must be the *current* alive pool rows (after
+        :meth:`drop`). ``None`` means no refit happened this round. A
+        forest-wide class change (or any shape drift) invalidates every
+        scattered row, so those trigger a full rebuild.
+        """
+        if report is None:
+            return
+        forest = self._forest
+        X_pool = np.asarray(X_pool, dtype=np.float64)
+        if (
+            report.classes_changed
+            or self._value.shape[0] != len(X_pool)
+            or self._value.shape[1] != len(forest.estimators_)
+            or self._value.shape[2] != len(forest.classes_)
+        ):
+            self._bind(X_pool)
+            return
+        for t in report.replaced:
+            self._refresh_tree(int(t), X_pool)
+        K = self._value.shape[2]
+        for t, leaves in report.touched_leaves:
+            if len(leaves) == 0:
+                continue
+            rows = np.flatnonzero(np.isin(self._leaf[:, t], leaves))
+            if len(rows) == 0:
+                continue
+            tree = forest.estimators_[t]
+            cmap = forest._tree_class_maps[t]
+            sub = np.zeros((len(rows), K), dtype=np.float64)
+            sub[:, cmap] = tree.tree_value_[self._leaf[rows, t]]
+            self._value[rows, t, :] = sub

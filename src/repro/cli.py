@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-jobs", type=int, default=1,
                    help="worker processes for feature extraction and forest "
                         "fitting (1 = serial)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="incremental AL refits: keep trees across rounds, "
+                        "regrow only a seeded subset per query (needs "
+                        "--splitter hist)")
+    p.add_argument("--refresh-fraction", type=float, default=0.25,
+                   help="fraction of trees regrown per warm refit "
+                        "(1.0 = bit-exact to cold refits)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=Path, required=True)
 
@@ -107,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--escalate", action="store_true",
                    help="route low-confidence verdicts to the escalation queue")
+    p.add_argument("--retrain", action="store_true",
+                   help="after serving, close the loop: annotate escalated "
+                        "runs with their archived labels, refit, publish, "
+                        "and adopt the new version (needs --escalate)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="use the incremental refit path for --retrain "
+                        "(falls back to a cold rebuild when the model "
+                        "cannot warm-refit)")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request TTL; expired requests fail fast")
     p.add_argument("--retries", type=int, default=0,
@@ -237,6 +252,9 @@ def _cmd_train(args) -> int:
         print("archive too small to split into seed/pool/validation", file=sys.stderr)
         return 2
 
+    if args.warm_start and args.splitter != "hist":
+        print("--warm-start requires --splitter hist", file=sys.stderr)
+        return 2
     config = _config_for(args)
     framework = ALBADross(
         config.catalog,
@@ -248,6 +266,8 @@ def _cmd_train(args) -> int:
             target_f1=args.target_f1,
             splitter=args.splitter,
             n_jobs=args.n_jobs,
+            warm_start=args.warm_start,
+            refresh_fraction=args.refresh_fraction,
             random_state=args.seed,
         ),
     )
@@ -381,6 +401,10 @@ def _cmd_serve_batch(args) -> int:
     runs = load_runs(args.runs)
     if args.limit is not None:
         runs = runs[: args.limit]
+    if args.retrain and not args.escalate:
+        print("--retrain needs --escalate (nothing to learn from otherwise)",
+              file=sys.stderr)
+        return 2
     escalation = EscalationQueue() if args.escalate else None
     breaker = (
         CircuitBreaker(failure_threshold=args.degrade_after)
@@ -418,6 +442,18 @@ def _cmd_serve_batch(args) -> int:
             except ServingError as exc:
                 kind = type(exc).__name__
                 failures[kind] = failures.get(kind, 0) + 1
+        if args.retrain:
+            # the archive carries ground truth; label escalations with it
+            version = service.retrain_and_publish(
+                lambda item: item.run.label,
+                tag="serve-batch-retrain",
+                warm=args.warm_start,
+            )
+            if version is None:
+                print("retrain: no escalations to learn from")
+            else:
+                mode = "warm" if service.stats.snapshot()["warm_refits"] else "cold"
+                print(f"retrained ({mode}) and adopted {version.version_id}")
         health = service.health() if args.health else None
     labels: dict[str, int] = {}
     for d in diagnoses:
@@ -432,7 +468,7 @@ def _cmd_serve_batch(args) -> int:
     for key in ("requests", "batches", "mean_batch_size",
                 "mean_batch_latency_s", "cache_hits", "escalations",
                 "retries", "deadline_drops", "watchdog_restarts",
-                "degraded_responses"):
+                "degraded_responses", "model_swaps", "warm_refits"):
         value = snap[key]
         print(f"  {key:<22} {value:.4f}" if isinstance(value, float)
               else f"  {key:<22} {value}")

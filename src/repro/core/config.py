@@ -74,6 +74,15 @@ class FrameworkConfig:
         chunk-wise parallel feature extraction (any model family) and
         forest fitting (``random_forest``); 1 = serial, the default.
         Results are bit-identical at every worker count.
+    warm_start:
+        Incremental refits for the AL loop and online retrains: trees
+        survive across rounds, each refit regrows only a seeded
+        ``refresh_fraction`` subset and folds new rows into the kept
+        trees' leaf counts (see ``docs/mlcore.md``). Requires
+        ``splitter="hist"``.
+    refresh_fraction:
+        Fraction of trees regrown per warm refit; ``1.0`` is bit-exact
+        to retraining from scratch.
     random_state:
         Seed threaded through every stochastic component.
     """
@@ -87,6 +96,8 @@ class FrameworkConfig:
     target_f1: float | None = None
     splitter: str = "exact"
     n_jobs: int = 1
+    warm_start: bool = False
+    refresh_fraction: float = 0.25
     random_state: int = 0
 
     def __post_init__(self) -> None:
@@ -106,6 +117,15 @@ class FrameworkConfig:
             raise ValueError(f"splitter must be 'exact' or 'hist', got {self.splitter!r}")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if not 0.0 < self.refresh_fraction <= 1.0:
+            raise ValueError(
+                f"refresh_fraction must be in (0, 1], got {self.refresh_fraction}"
+            )
+        if self.warm_start and self.splitter != "hist":
+            raise ValueError(
+                "warm_start needs splitter='hist' (warm refits run on the "
+                "binned training path)"
+            )
 
     def resolved_model_params(self) -> dict[str, Any]:
         """Model parameters with Table IV defaults filled in.

@@ -220,6 +220,8 @@ class ALBADross:
             n_queries=self.config.max_queries,
             target_f1=self.config.target_f1,
             pool_apps=None if pool_apps is None else np.asarray(pool_apps),
+            warm_start="auto" if self.config.warm_start else False,
+            refresh_fraction=self.config.refresh_fraction,
             random_state=self.config.random_state,
         )
         # adopt the final model: refit on seed + every queried sample
@@ -266,7 +268,10 @@ class ALBADross:
         return self.predict_features(self._featurize(runs))
 
     def absorb(
-        self, runs: Sequence[RunRecord], labels: Sequence[str]
+        self,
+        runs: Sequence[RunRecord],
+        labels: Sequence[str],
+        warm: bool | None = None,
     ) -> "ALBADross":
         """Fold newly annotated runs into the labeled set and refit.
 
@@ -274,6 +279,14 @@ class ALBADross:
         serving path escalated to the annotator come back here, grow the
         seed matrix, and produce the model the registry publishes as the
         next version.
+
+        ``warm`` selects the incremental path (``None`` defers to
+        ``config.warm_start``): when the current model supports ``refit``
+        and was trained on the binned path, the new rows fold into the
+        existing forest instead of rebuilding it — the seeded schedule
+        regrows ``config.refresh_fraction`` of the trees. Falls back to
+        a cold rebuild otherwise. ``last_absorb_warm`` records which path
+        actually ran (the serving stats read it).
         """
         if self.model is None or self._X_seed is None:
             raise RuntimeError("call fit_initial first")
@@ -281,13 +294,27 @@ class ALBADross:
             raise ValueError("runs / labels length mismatch")
         if not runs:
             return self
+        if warm is None:
+            warm = self.config.warm_start
         X_new = self._featurize(runs)
+        y_new = np.asarray(labels)
         self._X_seed = np.vstack([self._X_seed, X_new])
-        self._y_seed = np.concatenate([self._y_seed, np.asarray(labels)])
+        self._y_seed = np.concatenate([self._y_seed, y_new])
+        if (
+            warm
+            and hasattr(self.model, "refit")
+            and getattr(self.model, "binned_dataset_", None) is not None
+        ):
+            self.model.refit(
+                X_new, y_new, refresh_fraction=self.config.refresh_fraction
+            )
+            self.last_absorb_warm = True
+            return self
         self.model = build_model(
             self.config.model,
             self.config.resolved_model_params(),
             random_state=self.config.random_state,
         )
         self.model.fit(self._X_seed, self._y_seed)
+        self.last_absorb_warm = False
         return self

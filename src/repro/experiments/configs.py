@@ -29,6 +29,8 @@ __all__ = [
     "RF_PARAMS",
     "SPLITTER",
     "N_JOBS",
+    "WARM_START",
+    "REFRESH_FRACTION",
 ]
 
 # repository-level artifact locations
@@ -47,6 +49,11 @@ RF_PARAMS = {"n_estimators": 16, "max_depth": 8, "criterion": "entropy"}
 # (histogram-binned split search) — results change only within quantization.
 SPLITTER = "exact"
 N_JOBS = 1
+# incremental AL refits; reference benches keep the paper's cold refits.
+# WARM_START needs SPLITTER = "hist"; REFRESH_FRACTION = 1.0 is bit-exact
+# to cold refits, smaller fractions trade fidelity for refit cost.
+WARM_START = False
+REFRESH_FRACTION = 0.25
 
 
 def bench_volta_config() -> SystemConfig:

@@ -36,6 +36,98 @@ __all__ = ["Binner", "BinnedDataset", "DEFAULT_MAX_BINS"]
 DEFAULT_MAX_BINS = 256
 
 
+class _CodeBuffer:
+    """Amortized-doubling backing store shared by a BinnedDataset lineage.
+
+    The active-learning loop appends one code row per query; reallocating
+    (or ``np.vstack``-ing) the whole matrix every round is O(rounds · n)
+    copies. This buffer doubles capacity on overflow, so a lineage of
+    appends costs O(n) amortized, and it maintains the feature-major
+    transpose *incrementally*: once built, each append writes ``m`` new
+    columns instead of re-transposing the matrix.
+
+    Several :class:`BinnedDataset` instances may share one buffer (each
+    records its own row count); only the dataset whose length equals the
+    buffer's high-water mark may grow in place — anyone else gets a
+    private copy, so a parent's rows can never be overwritten by a
+    sibling's append.
+    """
+
+    __slots__ = ("rows", "n_used", "_rows_T", "_t_filled", "_t_view", "_t_view_n")
+
+    def __init__(self, codes: np.ndarray):
+        self.rows = codes  # (capacity, f); rows beyond n_used are free
+        self.n_used = len(codes)
+        self._rows_T: np.ndarray | None = None
+        self._t_filled = 0  # columns of the transpose kept in sync
+        self._t_view: np.ndarray | None = None  # memoized transpose slice
+        self._t_view_n = -1
+
+    def append(self, new_codes: np.ndarray, at_n: int) -> int | None:
+        """Append rows at the tail; returns the new length or ``None``.
+
+        ``None`` means ``at_n`` is not the buffer tail (another dataset
+        already grew past it) and the caller must copy instead.
+        """
+        if at_n != self.n_used:
+            return None
+        m = len(new_codes)
+        need = self.n_used + m
+        cap = len(self.rows)
+        if need > cap:
+            new_cap = max(2 * cap, need)
+            grown = np.empty((new_cap, self.rows.shape[1]), dtype=np.uint8)
+            grown[: self.n_used] = self.rows[: self.n_used]
+            self.rows = grown
+            if self._rows_T is not None:
+                grown_T = np.empty(
+                    (self.rows.shape[1], new_cap), dtype=np.uint8
+                )
+                grown_T[:, : self._t_filled] = self._rows_T[:, : self._t_filled]
+                self._rows_T = grown_T
+                self._t_view = None
+                self._t_view_n = -1
+        self.rows[self.n_used : need] = new_codes
+        if self._rows_T is not None and self._t_filled == self.n_used:
+            self._rows_T[:, self.n_used : need] = new_codes.T
+            self._t_filled = need
+        self.n_used = need
+        return need
+
+    def transpose(self, n: int) -> np.ndarray:
+        """Feature-major view of the first ``n`` rows, built lazily.
+
+        The returned view is memoized per requested length, so repeated
+        reads of an unchanged dataset hand back the identical object
+        (callers key shared-memory exports and caches on identity).
+        """
+        if self._rows_T is None:
+            self._rows_T = np.empty(
+                (self.rows.shape[1], len(self.rows)), dtype=np.uint8
+            )
+            self._rows_T[:, : self.n_used] = self.rows[: self.n_used].T
+            self._t_filled = self.n_used
+        elif self._t_filled < n:
+            self._rows_T[:, self._t_filled : n] = self.rows[self._t_filled : n].T
+            self._t_filled = n
+        if self._t_view_n != n:
+            self._t_view = self._rows_T[:, :n]
+            self._t_view_n = n
+        return self._t_view
+
+    def __getstate__(self) -> dict:
+        # compact on pickle: ship only the live rows, drop the transpose
+        return {"rows": np.ascontiguousarray(self.rows[: self.n_used])}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rows = state["rows"]
+        self.n_used = len(self.rows)
+        self._rows_T = None
+        self._t_filled = 0
+        self._t_view = None
+        self._t_view_n = -1
+
+
 def _feature_edges(col: np.ndarray, max_bins: int) -> np.ndarray:
     """Bin edges for one feature column: at most ``max_bins - 1`` cuts.
 
@@ -169,8 +261,9 @@ class BinnedDataset:
     """A code matrix plus the binner that produced it.
 
     The handle the forest trains from and the active-learning loop caches
-    across refits: growing the labeled set is a row-stack of already
-    computed codes, never a re-quantization of the whole matrix.
+    across refits: growing the labeled set appends already computed codes
+    into an amortized-doubling buffer (:class:`_CodeBuffer`), never a
+    re-quantization — or even a full copy — of the whole matrix.
     """
 
     def __init__(self, codes: np.ndarray, binner: Binner):
@@ -184,30 +277,45 @@ class BinnedDataset:
                 f"codes have {codes.shape[1]} features, "
                 f"binner expects {binner.n_features_in_}"
             )
-        self.codes = codes
+        self._buf = _CodeBuffer(codes)
+        self._n = len(codes)
         self.binner = binner
-        self._codes_T: np.ndarray | None = None
+
+    @classmethod
+    def _from_buffer(
+        cls, buf: _CodeBuffer, n: int, binner: Binner
+    ) -> "BinnedDataset":
+        ds = cls.__new__(cls)
+        ds._buf = buf
+        ds._n = n
+        ds.binner = binner
+        return ds
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Row-major view of this dataset's code rows (never a copy)."""
+        return self._buf.rows[: self._n]
 
     @property
     def codes_T(self) -> np.ndarray:
-        """Feature-major copy of the codes, built once and shared.
+        """Feature-major codes, built lazily and maintained incrementally.
 
         Every tree's histogram kernels gather (bootstrap rows × candidate
         features) blocks; the transposed layout makes each candidate
-        feature a contiguous row, so the forest amortizes one transpose
-        across all trees and refit rounds reuse it for free.
+        feature a contiguous row. The transpose lives in the shared
+        growth buffer: the first access pays one full transpose, after
+        which each :meth:`append_codes` keeps it current by writing only
+        the new columns — refit rounds never re-transpose the matrix.
         """
-        if self._codes_T is None:
-            self._codes_T = np.ascontiguousarray(self.codes.T)
-        return self._codes_T
+        return self._buf.transpose(self._n)
 
     @property
     def n_samples(self) -> int:
-        return self.codes.shape[0]
+        return self._n
 
     @property
     def n_features(self) -> int:
-        return self.codes.shape[1]
+        return self._buf.rows.shape[1]
 
     @property
     def bin_edges_(self) -> list[np.ndarray]:
@@ -231,8 +339,30 @@ class BinnedDataset:
         """Row subset (bootstrap resamples share edges, copy codes)."""
         return BinnedDataset(self.codes[idx], self.binner)
 
+    def append_codes(self, code_rows: np.ndarray) -> "BinnedDataset":
+        """New dataset with already-binned rows stacked underneath.
+
+        O(rows) amortized: when this dataset sits at its buffer's tail
+        the rows are written in place (doubling capacity as needed) and
+        the returned dataset shares the buffer — including the
+        incrementally maintained transpose. Otherwise (a sibling grew the
+        buffer first) the lineage forks with one copy. ``self`` is never
+        mutated either way: its views cover only its own rows.
+        """
+        code_rows = np.asarray(code_rows, dtype=np.uint8)
+        if code_rows.ndim != 2 or code_rows.shape[1] != self.n_features:
+            raise ValueError(
+                f"code rows must be (m, {self.n_features}), "
+                f"got shape {code_rows.shape}"
+            )
+        new_n = self._buf.append(code_rows, self._n)
+        if new_n is None:  # not at the tail: fork the lineage with a copy
+            forked = _CodeBuffer(
+                np.vstack([self.codes, code_rows]).astype(np.uint8)
+            )
+            return BinnedDataset._from_buffer(forked, forked.n_used, self.binner)
+        return BinnedDataset._from_buffer(self._buf, new_n, self.binner)
+
     def append_rows(self, X_rows: np.ndarray) -> "BinnedDataset":
         """New dataset with freshly binned ``X_rows`` stacked underneath."""
-        return BinnedDataset(
-            np.vstack([self.codes, self.binner.transform(X_rows)]), self.binner
-        )
+        return self.append_codes(self.binner.transform(X_rows))

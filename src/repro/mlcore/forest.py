@@ -30,7 +30,9 @@ either dispatch order.
 
 from __future__ import annotations
 
+import math
 from contextlib import ExitStack
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,13 +48,38 @@ from .base import (
 from .binning import BinnedDataset, Binner
 from .tree import _LEAF, DecisionTreeClassifier
 
-__all__ = ["RandomForestClassifier", "DEFAULT_FOREST_BINS"]
+__all__ = ["RandomForestClassifier", "RefitReport", "DEFAULT_FOREST_BINS"]
 
 # Forests average many shallow-ish trees, so per-tree threshold resolution
 # matters less than for a single tree: 64 bins measures indistinguishable
 # from 256 on the bench corpora while halving split-search work. Single
 # trees and the GBM keep the finer 256-bin default.
 DEFAULT_FOREST_BINS = 64
+
+# Domain-separation tag for the replacement-schedule RNG: the schedule
+# derives from tree 0's seed (itself drawn from the root generator), and
+# the tag keeps its stream disjoint from every tree's fitting stream.
+_SCHEDULE_TAG = 0x5C4ED
+
+
+@dataclass(frozen=True)
+class RefitReport:
+    """What one warm :meth:`RandomForestClassifier.refit` round changed.
+
+    The delta pool scorer consumes this to update only the affected
+    per-tree contributions instead of re-scoring the pool through every
+    tree: ``replaced`` trees were regrown whole (their column must be
+    re-descended), kept trees changed only the listed leaves' class
+    distributions, and ``classes_changed`` signals that the forest-wide
+    class list grew (every scattered probability row changes width, so
+    incremental patching is off the table for that round).
+    """
+
+    round_index: int
+    n_new_rows: int
+    replaced: np.ndarray  # tree positions regrown from the stacked data
+    touched_leaves: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    classes_changed: bool = False
 
 
 def _bootstrap_indices(
@@ -245,8 +272,121 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
                 f"binned has {binned.n_samples} samples but y has {len(y)}"
             )
         self.binned_dataset_ = binned
+        self._fit_y_ = np.asarray(y).copy()
         return self._fit_forest(
             None, binned.codes, binned.bin_edges_, y, binned.codes_T
+        )
+
+    def refit(
+        self,
+        X_new: np.ndarray,
+        y_new: np.ndarray,
+        *,
+        refresh_fraction: float = 0.25,
+        codes: np.ndarray | None = None,
+    ) -> RefitReport:
+        """Warm-start update: absorb new labeled rows without a full refit.
+
+        The active-learning loop adds a handful of rows per round; this
+        keeps the fitted trees and their per-tree seed streams across
+        rounds instead of regrowing all ``n_estimators`` trees:
+
+        * a deterministic *replacement schedule* — seeded from tree 0's
+          stream, keyed by the refit round, independent of ``n_jobs`` —
+          picks ``ceil(refresh_fraction · n_estimators)`` trees to regrow
+          from scratch on the stacked (old + new) data, each with its
+          original per-tree seed;
+        * every kept tree routes the new rows to its leaves and folds
+          them into the leaf class counts in place
+          (:meth:`DecisionTreeClassifier.absorb_labeled`).
+
+        ``refresh_fraction=1.0`` regrows every tree and is bit-identical
+        to a from-scratch :meth:`fit_binned` of a fresh clone (same
+        integer ``random_state``) on the stacked dataset — the parity
+        oracle the test suite pins. Smaller fractions trade refit cost
+        for a model that converges to the cold one as trees cycle
+        through the schedule.
+
+        ``codes`` are the new rows' pre-binned code rows when the caller
+        already holds them (the AL loop bins seed + pool once up front);
+        otherwise the rows are binned here with the fitted binner's
+        edges. Requires a forest fitted via ``fit_binned`` (or ``fit``
+        with ``splitter="hist"``). Returns a :class:`RefitReport` for
+        incremental pool re-scoring.
+        """
+        if getattr(self, "binned_dataset_", None) is None or not hasattr(
+            self, "_fit_y_"
+        ):
+            raise RuntimeError(
+                "refit needs a forest fitted via fit_binned "
+                "(splitter='hist'); call fit/fit_binned first"
+            )
+        if not 0.0 < refresh_fraction <= 1.0:
+            raise ValueError(
+                f"refresh_fraction must be in (0, 1], got {refresh_fraction}"
+            )
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if X_new.ndim == 1:
+            X_new = X_new[None, :]
+        if X_new.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X_new has {X_new.shape[1]} features, "
+                f"expected {self.n_features_in_}"
+            )
+        y_new = np.atleast_1d(np.asarray(y_new))
+        if len(y_new) != len(X_new):
+            raise ValueError(f"{len(X_new)} rows but {len(y_new)} labels")
+        if codes is None:
+            codes = self.binned_dataset_.binner.transform(X_new)
+        else:
+            codes = np.asarray(codes, dtype=np.uint8)
+            if codes.ndim == 1:
+                codes = codes[None, :]
+
+        self.binned_dataset_ = self.binned_dataset_.append_codes(codes)
+        y_all = np.concatenate([self._fit_y_, y_new])
+        self._fit_y_ = y_all
+        old_n_classes = len(self.classes_)
+        self.classes_ = np.unique(y_all)
+
+        round_index = self._refit_round_
+        self._refit_round_ += 1
+        n_rep = min(
+            self.n_estimators,
+            max(1, math.ceil(refresh_fraction * self.n_estimators)),
+        )
+        if n_rep >= self.n_estimators:
+            replaced = np.arange(self.n_estimators)
+        else:
+            sched = np.random.default_rng(
+                [_SCHEDULE_TAG, int(self._tree_seeds_[0]), round_index]
+            )
+            replaced = np.sort(
+                sched.choice(self.n_estimators, size=n_rep, replace=False)
+            )
+        keep = np.setdiff1d(np.arange(self.n_estimators), replaced)
+
+        touched: list[tuple[int, np.ndarray]] = []
+        for t in keep:
+            touched.append((int(t), self.estimators_[t].absorb_labeled(X_new, y_new)))
+        binned = self.binned_dataset_
+        new_trees = [
+            tree
+            for chunk in self._dispatch_tree_fits(
+                self._tree_seeds_[replaced], None, binned.codes,
+                binned.bin_edges_, y_all, binned.codes_T,
+            )
+            for tree in chunk
+        ]
+        for pos, tree in zip(replaced, new_trees):
+            self.estimators_[pos] = tree
+        self._finish_fit()
+        return RefitReport(
+            round_index=round_index,
+            n_new_rows=len(X_new),
+            replaced=replaced,
+            touched_leaves=touched,
+            classes_changed=len(self.classes_) != old_n_classes,
         )
 
     def _fit_forest(
@@ -261,8 +401,32 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         self.classes_ = np.unique(y)
         self.n_features_in_ = (X if X is not None else codes_mat).shape[1]
         # one seed per tree, drawn up front: fits are reproducible at any
-        # worker count and independent of chunk boundaries
+        # worker count and independent of chunk boundaries; the seeds are
+        # kept so warm refits can regrow tree i with its original stream
         seeds = rng.integers(0, 2**63, size=self.n_estimators)
+        self._tree_seeds_ = seeds
+        self._refit_round_ = 0
+        results = self._dispatch_tree_fits(seeds, X, codes_mat, edges, y, codes_T)
+        self.estimators_ = [tree for chunk in results for tree in chunk]
+        self._finish_fit()
+        return self
+
+    def _dispatch_tree_fits(
+        self,
+        seeds: np.ndarray,
+        X: np.ndarray | None,
+        codes_mat: np.ndarray | None,
+        edges: list[np.ndarray] | None,
+        y: np.ndarray,
+        codes_T: np.ndarray | None,
+    ) -> list[list[DecisionTreeClassifier]]:
+        """Grow one tree per seed, fanned out per ``n_jobs``/``backend``.
+
+        Shared by the initial fit and warm refits (which pass only the
+        replaced subset of the stored seed vector): each tree depends
+        only on its own seed and the data, so results are independent of
+        chunking, worker count, and which call site requested the growth.
+        """
         tree_params = dict(
             criterion=self.criterion,
             max_depth=self.max_depth,
@@ -273,48 +437,43 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             max_bins=self.max_bins,
         )
         n_jobs = 1 if self.n_jobs is None else max(1, self.n_jobs)
-        n_chunks = min(n_jobs, self.n_estimators)
+        n_chunks = min(n_jobs, len(seeds))
         seed_chunks = [
             chunk for chunk in np.array_split(seeds, n_chunks) if len(chunk)
         ]
         n_classes = len(self.classes_)
         if n_jobs <= 1:
-            results = [
+            return [
                 _fit_tree_chunk(
                     (tree_params, codes_mat, edges, X, y, n_classes,
                      self.bootstrap, chunk, codes_T)
                 )
                 for chunk in seed_chunks
             ]
-        else:
-            executor = shared_executor(n_jobs, backend=self.backend)
-            if executor.n_workers <= 1:
-                # backend="auto" on a one-core mask degrades to serial:
-                # fit in-process, the per-tree seed streams are identical
-                results = [
-                    _fit_tree_chunk(
-                        (tree_params, codes_mat, edges, X, y, n_classes,
-                         self.bootstrap, chunk, codes_T)
-                    )
-                    for chunk in seed_chunks
-                ]
-            elif executor.backend == "thread":
-                # threads share the parent's arrays outright — including
-                # the cached feature-major transpose
-                jobs = [
+        executor = shared_executor(n_jobs, backend=self.backend)
+        if executor.n_workers <= 1:
+            # backend="auto" on a one-core mask degrades to serial:
+            # fit in-process, the per-tree seed streams are identical
+            return [
+                _fit_tree_chunk(
                     (tree_params, codes_mat, edges, X, y, n_classes,
                      self.bootstrap, chunk, codes_T)
-                    for chunk in seed_chunks
-                ]
-                results = executor.map(_fit_tree_chunk, jobs)
-            else:
-                results = self._fit_chunks_shm(
-                    executor, tree_params, codes_mat, edges, X, y,
-                    n_classes, seed_chunks,
                 )
-        self.estimators_ = [tree for chunk in results for tree in chunk]
-        self._finish_fit()
-        return self
+                for chunk in seed_chunks
+            ]
+        if executor.backend == "thread":
+            # threads share the parent's arrays outright — including
+            # the cached feature-major transpose
+            jobs = [
+                (tree_params, codes_mat, edges, X, y, n_classes,
+                 self.bootstrap, chunk, codes_T)
+                for chunk in seed_chunks
+            ]
+            return executor.map(_fit_tree_chunk, jobs)
+        return self._fit_chunks_shm(
+            executor, tree_params, codes_mat, edges, X, y,
+            n_classes, seed_chunks,
+        )
 
     def _fit_chunks_shm(
         self,

@@ -677,6 +677,9 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.tree_right_ = np.array(buf.right, dtype=np.int64)
         values = np.vstack(buf.value)
         sums = values.sum(axis=1, keepdims=True)
+        # raw class counts kept alongside the normalized frequencies so
+        # warm refits can fold new rows into leaves (absorb_labeled)
+        self.tree_count_ = values.astype(np.float64)
         self.tree_value_ = values / np.where(sums > 0, sums, 1.0)
         self.node_count_ = len(buf.feature)
         total = importances.sum()
@@ -684,6 +687,54 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             importances / total if total > 0 else importances
         )
         return self
+
+    # ------------------------------------------------------------------
+    def absorb_labeled(self, X_rows: np.ndarray, y_labels: np.ndarray) -> np.ndarray:
+        """Fold labeled rows into leaf statistics without regrowing.
+
+        The warm-refit fast path for *kept* trees: each row descends to
+        its leaf (the split structure is untouched) and increments that
+        leaf's class count; the leaf's predicted distribution is
+        renormalized from the updated counts. Labels outside this tree's
+        bootstrap-time class list extend it in place (the new class gets
+        a zero column everywhere else). Returns the unique leaf ids whose
+        distributions changed, so a pool scorer can patch exactly those
+        contributions.
+
+        Internal-node counts are left stale on purpose — only leaf rows
+        of ``tree_value_`` feed prediction, and importances are frozen at
+        grow time (documented in docs/mlcore.md).
+        """
+        X_rows = np.asarray(X_rows, dtype=np.float64)
+        if X_rows.ndim == 1:
+            X_rows = X_rows[None, :]
+        y_labels = np.atleast_1d(np.asarray(y_labels))
+        if len(y_labels) != len(X_rows):
+            raise ValueError(
+                f"{len(X_rows)} rows but {len(y_labels)} labels"
+            )
+        merged = np.unique(np.concatenate([self.classes_, y_labels]))
+        if len(merged) != len(self.classes_):
+            old_cols = np.searchsorted(merged, self.classes_)
+            counts = np.zeros((self.node_count_, len(merged)), dtype=np.float64)
+            counts[:, old_cols] = self.tree_count_
+            self.tree_count_ = counts
+            self.classes_ = merged
+            self._n_classes = len(merged)
+        y_local = np.searchsorted(self.classes_, y_labels)
+        leaves = self._leaf_indices(X_rows)
+        np.add.at(self.tree_count_, (leaves, y_local), 1.0)
+        touched = np.unique(leaves)
+        counts = self.tree_count_
+        sums = counts.sum(axis=1, keepdims=True)
+        if len(merged) != self.tree_value_.shape[1]:
+            # class set grew: every row needs the widened column layout
+            self.tree_value_ = counts / np.where(sums > 0, sums, 1.0)
+        else:
+            self.tree_value_[touched] = counts[touched] / np.where(
+                sums[touched] > 0, sums[touched], 1.0
+            )
+        return touched
 
     # ------------------------------------------------------------------
     def _leaf_indices(self, X: np.ndarray) -> np.ndarray:

@@ -174,14 +174,17 @@ def apply_annotations(
     annotator: Callable[[EscalationItem], str],
     registry: "ModelRegistry | None" = None,
     tag: str | None = None,
+    warm: bool | None = None,
 ) -> "tuple[ALBADross, ModelVersion | None]":
     """Label escalated items, refit the framework, publish the next version.
 
     ``annotator`` maps an :class:`EscalationItem` to its true label — in
     production an interactive session (see
     :class:`repro.core.annotation.AnnotationSession`), in tests/examples
-    the ground truth. Returns the refit framework and the newly published
-    version (``None`` when no registry was given or nothing was labeled).
+    the ground truth. ``warm`` selects the incremental refit path (see
+    :meth:`ALBADross.absorb`; ``None`` defers to the framework config).
+    Returns the refit framework and the newly published version (``None``
+    when no registry was given or nothing was labeled).
     """
     labeled_runs: list[RunRecord] = []
     labels: list[str] = []
@@ -193,7 +196,7 @@ def apply_annotations(
         labels.append(str(label))
     if not labeled_runs:
         return framework, None
-    framework.absorb(labeled_runs, labels)
+    framework.absorb(labeled_runs, labels, warm=warm)
     version = None
     if registry is not None:
         version = registry.publish(framework, tag=tag)

@@ -420,6 +420,7 @@ class FleetService:
         tag: str | None = None,
         max_items: int | None = None,
         adopt: bool = True,
+        warm: bool | None = None,
     ) -> ModelVersion | None:
         """Close the AL loop fleet-wide, durably when a job store exists.
 
@@ -428,6 +429,9 @@ class FleetService:
         :func:`process_one_retrain` executes it at-least-once — a crash
         anywhere before the final ack leaves every job claimable again.
         Without one, this degrades to the single-service in-memory path.
+        ``warm`` rides along in the retrain order's payload, so the
+        worker that eventually executes it uses the same refit path the
+        caller asked for.
         """
         if self.escalation is None:
             raise RuntimeError("fleet was built without an escalation queue")
@@ -438,12 +442,16 @@ class FleetService:
             framework, _ = self.registry.load(
                 self._version.version_id if self._version else "current"
             )
+            framework.last_absorb_warm = False
             _, version = apply_annotations(
-                framework, items, annotator, registry=self.registry, tag=tag
+                framework, items, annotator, registry=self.registry, tag=tag,
+                warm=warm,
             )
+            if getattr(framework, "last_absorb_warm", False):
+                next(iter(self.shards.values())).stats.record_warm_refit()
         else:
             self.escalation.flush_to_store()
-            self.jobs.enqueue(RETRAIN_KIND, {"tag": tag})
+            self.jobs.enqueue(RETRAIN_KIND, {"tag": tag, "warm": warm})
             version = process_one_retrain(
                 self.jobs,
                 self.registry,
@@ -496,6 +504,7 @@ def process_one_retrain(
             annotator,
             registry=registry,
             tag=order.payload.get("tag"),
+            warm=order.payload.get("warm"),
         )
         for job in claims:
             jobs.ack(job.job_id, job.claim_token)

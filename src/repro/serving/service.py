@@ -301,12 +301,16 @@ class DiagnosisService:
         tag: str | None = None,
         max_items: int | None = None,
         adopt: bool = True,
+        warm: bool | None = None,
     ) -> ModelVersion | None:
         """Drain the escalation queue, refit, publish, optionally hot-swap.
 
         The annotation-loop closer: everything the service escalated gets
         labeled by ``annotator``, absorbed into the framework, published
         as the next version, and (with ``adopt``) served immediately.
+        ``warm`` routes the refit through the framework's incremental
+        path (``None`` defers to its config); a retrain that actually ran
+        warm shows up as ``warm_refits`` in the service stats.
         """
         if self.escalation is None:
             raise RuntimeError("service was built without an escalation queue")
@@ -315,9 +319,13 @@ class DiagnosisService:
             return None
         with self._swap_lock:
             framework = self._framework
+        framework.last_absorb_warm = False  # absorb may be skipped entirely
         _, version = apply_annotations(
-            framework, items, annotator, registry=self.registry, tag=tag
+            framework, items, annotator, registry=self.registry, tag=tag,
+            warm=warm,
         )
+        if getattr(framework, "last_absorb_warm", False):
+            self.stats.record_warm_refit()
         if version is not None and adopt:
             self.swap(version.version_id)
         return version

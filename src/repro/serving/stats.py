@@ -34,6 +34,7 @@ class ServiceStats:
             self._latency_sum = 0.0
             self._latency_max = 0.0
             self._swaps = 0
+            self._warm_refits = 0
             self._retries = 0
             self._deadline_drops = 0
             self._watchdog_restarts = 0
@@ -57,6 +58,11 @@ class ServiceStats:
     def record_swap(self) -> None:
         with self._lock:
             self._swaps += 1
+
+    def record_warm_refit(self) -> None:
+        """One retrain that went through the incremental (warm-start) path."""
+        with self._lock:
+            self._warm_refits += 1
 
     def record_retry(self, n: int = 1) -> None:
         """One transient ``predict_fn`` failure retried with backoff."""
@@ -114,6 +120,7 @@ class ServiceStats:
                 ),
                 "max_batch_latency_s": self._latency_max,
                 "model_swaps": self._swaps,
+                "warm_refits": self._warm_refits,
                 "retries": self._retries,
                 "deadline_drops": self._deadline_drops,
                 "watchdog_restarts": self._watchdog_restarts,
@@ -136,6 +143,7 @@ class ServiceStats:
             "batches": 0,
             "batch_size_histogram": {},
             "model_swaps": 0,
+            "warm_refits": 0,
             "retries": 0,
             "deadline_drops": 0,
             "watchdog_restarts": 0,

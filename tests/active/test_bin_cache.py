@@ -106,7 +106,7 @@ class TestLearnerBinCache:
         )
         learner.teach(Xp[4], yp[4], codes=codes_all[len(Xs) + 4])
         assert learner.n_labeled == len(Xs) + 1
-        assert np.array_equal(learner._codes[-1], codes_all[len(Xs) + 4])
+        assert np.array_equal(learner._binned.codes[-1], codes_all[len(Xs) + 4])
 
     def test_teach_bins_row_when_codes_missing(self, problem):
         Xs, ys, Xp, yp, _, _ = problem
@@ -117,7 +117,7 @@ class TestLearnerBinCache:
         )
         learner.teach(Xp[0], yp[0])
         assert np.array_equal(
-            learner._codes[-1], binner.transform(Xp[0][None, :])[0]
+            learner._binned.codes[-1], binner.transform(Xp[0][None, :])[0]
         )
 
     def test_rejects_estimator_without_fit_binned(self, problem):

@@ -1,0 +1,253 @@
+"""Tests for warm-start AL loops and delta pool scoring.
+
+Two fidelity oracles anchor the incremental path:
+
+* with ``refresh_fraction=1.0`` a warm run replays the cold hist-cached
+  run **exactly** — same query sequence, same metric curves — because
+  every refit is bit-identical to a cold refit on the stacked data;
+* at any refresh fraction, the maintained per-tree probability sum is
+  **bitwise equal** to a fresh ``predict_proba`` over the alive pool
+  after every round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.active.learner import ActiveLearner
+from repro.active.loop import run_active_learning
+from repro.active.strategies import (
+    DeltaPoolScorer,
+    select_from_proba,
+    strategy_name,
+    uncertainty_sampling,
+)
+from repro.mlcore.binning import Binner
+from repro.mlcore.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    f = 24
+    centers = rng.normal(size=(3, f)) * 1.1
+    n_each = 120
+    X = np.vstack([c + rng.normal(size=(n_each, f)) for c in centers])
+    y = np.repeat(np.arange(3), n_each)
+    perm = rng.permutation(len(y))
+    X, y = X[perm], y[perm]
+    return (
+        X[:100], y[:100],  # seed
+        X[100:260], y[100:260],  # pool
+        X[260:], y[260:],  # test
+    )
+
+
+def _hist_rf(**kw):
+    kw.setdefault("n_estimators", 8)
+    kw.setdefault("max_depth", 6)
+    kw.setdefault("splitter", "hist")
+    kw.setdefault("random_state", 1)
+    return RandomForestClassifier(**kw)
+
+
+class TestWarmRunFidelity:
+    def test_full_refresh_replays_cold_run_exactly(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        kw = dict(n_queries=12, random_state=7)
+        cold = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw
+        )
+        warm = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            warm_start=True, refresh_fraction=1.0, **kw
+        )
+        assert cold.queried_labels == warm.queried_labels
+        assert np.array_equal(cold.f1, warm.f1)
+        assert np.array_equal(cold.far, warm.far)
+        assert np.array_equal(cold.amr, warm.amr)
+
+    def test_auto_activates_for_hist_refit_estimators(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        kw = dict(n_queries=8, random_state=7, refresh_fraction=0.25)
+        forced = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            warm_start=True, **kw
+        )
+        auto = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            warm_start="auto", **kw
+        )
+        assert forced.queried_labels == auto.queried_labels
+        assert np.array_equal(forced.f1, auto.f1)
+
+    def test_partial_refresh_reaches_comparable_f1(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        kw = dict(n_queries=15, random_state=7)
+        cold = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw
+        )
+        warm = run_active_learning(
+            _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            warm_start=True, refresh_fraction=0.25, **kw
+        )
+        assert abs(cold.final_f1 - warm.final_f1) < 0.1
+
+    def test_warm_with_margin_and_entropy(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        for strategy in ("margin", "entropy"):
+            kw = dict(n_queries=8, random_state=7)
+            cold = run_active_learning(
+                _hist_rf(), strategy, Xs, ys, Xp, yp, Xt, yt, **kw
+            )
+            warm = run_active_learning(
+                _hist_rf(), strategy, Xs, ys, Xp, yp, Xt, yt,
+                warm_start=True, refresh_fraction=1.0, **kw
+            )
+            assert cold.queried_labels == warm.queried_labels
+            assert np.array_equal(cold.f1, warm.f1)
+
+    def test_warm_true_requires_refit_support(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        exact = RandomForestClassifier(n_estimators=4, random_state=1)
+        with pytest.raises(TypeError, match="warm_start"):
+            run_active_learning(
+                exact, "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+                n_queries=2, warm_start=True, random_state=0,
+            )
+
+    def test_bad_warm_start_value(self, problem):
+        Xs, ys, Xp, yp, Xt, yt = problem
+        with pytest.raises(ValueError, match="warm_start"):
+            run_active_learning(
+                _hist_rf(), "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+                warm_start="yes",
+            )
+
+    def test_auto_falls_back_for_exact_estimators(self, problem):
+        # warm_start="auto" on a non-refittable estimator must be a no-op
+        Xs, ys, Xp, yp, Xt, yt = problem
+        exact = RandomForestClassifier(n_estimators=4, max_depth=5, random_state=1)
+        kw = dict(n_queries=5, random_state=0)
+        plain = run_active_learning(exact, "uncertainty", Xs, ys, Xp, yp, Xt, yt, **kw)
+        auto = run_active_learning(
+            exact, "uncertainty", Xs, ys, Xp, yp, Xt, yt,
+            warm_start="auto", **kw
+        )
+        assert plain.queried_labels == auto.queried_labels
+        assert np.array_equal(plain.f1, auto.f1)
+
+
+class TestDeltaScoresBitwise:
+    def test_scores_match_full_rescoring_every_round(self, problem):
+        """The maintained sum equals predict_proba bitwise after every round."""
+        Xs, ys, Xp, yp, Xt, yt = problem
+        binner = Binner(_hist_rf().max_bins)
+        codes_all = binner.fit_transform(np.vstack([Xs, Xp]))
+        learner = ActiveLearner(
+            _hist_rf(), "uncertainty", Xs, ys,
+            random_state=7, binner=binner,
+            initial_codes=codes_all[: len(Xs)],
+            warm_start=True, refresh_fraction=0.25,
+        )
+        scorer = DeltaPoolScorer(learner.model, Xp)
+        alive = np.arange(len(Xp))
+        for _ in range(12):
+            proba = scorer.proba()
+            full = learner.model.predict_proba(Xp[alive])
+            assert proba.tobytes() == full.tobytes()
+            local = select_from_proba("uncertainty", proba)
+            assert local == uncertainty_sampling(learner.model, Xp[alive])
+            orig = int(alive[local])
+            learner.teach(
+                Xp[orig], yp[orig], codes=codes_all[len(Xs) + orig]
+            )
+            alive = np.delete(alive, local)
+            scorer.drop(local)
+            scorer.apply(learner.take_refit_report(), Xp[alive])
+        # final state too, after the last refit
+        assert scorer.proba().tobytes() == (
+            learner.model.predict_proba(Xp[alive]).tobytes()
+        )
+
+    def test_apply_rebinds_on_class_growth(self, problem):
+        Xs, ys, Xp, yp, _, _ = problem
+        binner = Binner(_hist_rf().max_bins)
+        codes_all = binner.fit_transform(np.vstack([Xs, Xp]))
+        learner = ActiveLearner(
+            _hist_rf(), "uncertainty", Xs, ys,
+            random_state=7, binner=binner,
+            initial_codes=codes_all[: len(Xs)],
+            warm_start=True, refresh_fraction=0.25,
+        )
+        scorer = DeltaPoolScorer(learner.model, Xp)
+        alive = np.arange(len(Xp))
+        # teach a label outside the seed's class set: the forest widens and
+        # the scorer must rebuild rather than patch
+        learner.teach(Xp[0], 99, codes=codes_all[len(Xs)])
+        alive = np.delete(alive, 0)
+        scorer.drop(0)
+        report = learner.take_refit_report()
+        assert report.classes_changed
+        scorer.apply(report, Xp[alive])
+        assert scorer.proba().tobytes() == (
+            learner.model.predict_proba(Xp[alive]).tobytes()
+        )
+
+    def test_none_report_is_noop(self, problem):
+        Xs, ys, Xp, _, _, _ = problem
+        rf = _hist_rf().fit(Xs, ys)
+        scorer = DeltaPoolScorer(rf, Xp)
+        before = scorer.proba().copy()
+        scorer.apply(None, Xp)
+        assert np.array_equal(scorer.proba(), before)
+
+
+class TestStrategyNameResolution:
+    def test_names_and_canonical_callables(self):
+        from repro.active.strategies import STRATEGIES
+
+        for name, fn in STRATEGIES.items():
+            assert strategy_name(name) == name
+            assert strategy_name(fn) == name
+
+    def test_custom_callable_is_unnamed(self):
+        assert strategy_name(lambda model, pool, rng: 0) is None
+        assert strategy_name("nonsense") is None
+
+
+class TestLearnerWarmValidation:
+    def test_warm_needs_binner(self, problem):
+        Xs, ys, *_ = problem
+        with pytest.raises(TypeError, match="bin cache"):
+            ActiveLearner(
+                _hist_rf(), "uncertainty", Xs, ys, warm_start=True
+            )
+
+    def test_warm_needs_refit(self, problem):
+        Xs, ys, Xp, *_ = problem
+        binner = Binner(64).fit(np.vstack([Xs, Xp]))
+
+        class NoRefit:
+            def get_params(self):
+                return {}
+
+            def fit_binned(self, binned, y):
+                return self
+
+            def fit(self, X, y):
+                return self
+
+        with pytest.raises(TypeError, match="refit"):
+            ActiveLearner(
+                NoRefit(), "uncertainty", Xs, ys,
+                binner=binner, warm_start=True,
+            )
+
+    def test_bad_refresh_fraction(self, problem):
+        Xs, ys, Xp, *_ = problem
+        binner = Binner(64).fit(np.vstack([Xs, Xp]))
+        with pytest.raises(ValueError, match="refresh_fraction"):
+            ActiveLearner(
+                _hist_rf(), "uncertainty", Xs, ys,
+                binner=binner, warm_start=True, refresh_fraction=0.0,
+            )

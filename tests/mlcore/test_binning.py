@@ -158,3 +158,98 @@ class TestBinnedDataset:
 
     def test_default_max_bins(self):
         assert DEFAULT_MAX_BINS == 256
+
+
+class TestGrowthBuffer:
+    """Amortized-doubling append path (append_codes / append_rows)."""
+
+    def _ds(self, n=50, f=4, seed=0):
+        X = np.random.default_rng(seed).normal(size=(n, f))
+        return X, Binner(16).fit_dataset(X)
+
+    def test_append_codes_stacks_rows(self):
+        _, ds = self._ds()
+        new = np.random.default_rng(1).integers(0, 16, size=(7, 4)).astype(np.uint8)
+        grown = ds.append_codes(new)
+        assert grown.n_samples == 57
+        assert np.array_equal(grown.codes[:50], ds.codes)
+        assert np.array_equal(grown.codes[50:], new)
+
+    def test_parent_rows_unaffected_by_append(self):
+        _, ds = self._ds()
+        before = ds.codes.copy()
+        row = np.zeros((1, 4), dtype=np.uint8)
+        chain = ds
+        for _ in range(20):
+            chain = chain.append_codes(row)
+        assert np.array_equal(ds.codes, before)
+        assert ds.n_samples == 50 and chain.n_samples == 70
+
+    def test_appends_share_buffer_amortized(self):
+        _, ds = self._ds()
+        row = np.ones((1, 4), dtype=np.uint8)
+        g1 = ds.append_codes(row)
+        g2 = g1.append_codes(row)
+        # tail appends share one backing buffer (no per-round full copy)
+        assert g2._buf is g1._buf
+        assert g2.codes.base is g1.codes.base
+
+    def test_non_tail_append_forks(self):
+        _, ds = self._ds()
+        row = np.full((1, 4), 3, dtype=np.uint8)
+        g1 = ds.append_codes(row)  # ds is no longer the tail
+        g2 = ds.append_codes(np.full((1, 4), 9, dtype=np.uint8))
+        assert g2._buf is not g1._buf  # sibling forked with a copy
+        assert g1.codes[-1][0] == 3
+        assert g2.codes[-1][0] == 9
+        assert np.array_equal(g1.codes[:50], g2.codes[:50])
+
+    def test_codes_t_stays_correct_across_appends(self):
+        _, ds = self._ds()
+        _ = ds.codes_T  # build the transpose before growing
+        chain = ds
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            chain = chain.append_codes(
+                rng.integers(0, 16, size=(3, 4)).astype(np.uint8)
+            )
+        assert np.array_equal(
+            chain.codes_T, np.ascontiguousarray(chain.codes.T)
+        )
+        assert np.array_equal(ds.codes_T, ds.codes.T)
+
+    def test_append_rows_still_bins(self):
+        X, ds = self._ds()
+        new = np.random.default_rng(9).normal(size=(5, 4))
+        grown = ds.append_rows(new)
+        assert grown.n_samples == 55
+        assert np.array_equal(grown.codes[50:], ds.binner.transform(new))
+
+    def test_rejects_wrong_shape(self):
+        _, ds = self._ds()
+        with pytest.raises(ValueError, match="code rows"):
+            ds.append_codes(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_pickle_compacts_buffer(self):
+        import pickle
+
+        _, ds = self._ds()
+        chain = ds.append_codes(np.zeros((1, 4), dtype=np.uint8))
+        clone = pickle.loads(pickle.dumps(chain))
+        assert clone.n_samples == chain.n_samples
+        assert np.array_equal(clone.codes, chain.codes)
+        # the pickled buffer carries no spare capacity
+        assert len(clone._buf.rows) == clone.n_samples
+
+    def test_take_and_share_contracts_survive_growth(self):
+        _, ds = self._ds()
+        chain = ds.append_codes(np.ones((3, 4), dtype=np.uint8))
+        sub = chain.take(np.array([0, 52, 1]))
+        assert np.array_equal(sub.codes, chain.codes[[0, 52, 1]])
+        owner, owner_t = chain.share()
+        try:
+            assert np.array_equal(np.asarray(owner.array), chain.codes)
+            assert np.array_equal(np.asarray(owner_t.array), chain.codes_T)
+        finally:
+            owner.close()
+            owner_t.close()

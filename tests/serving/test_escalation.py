@@ -161,3 +161,87 @@ class TestClosedLoop:
             assert service.version.version_id == "v0001"
         finally:
             service.stop()
+
+
+class TestWarmRetrain:
+    """retrain_and_publish with the incremental (warm) refit path."""
+
+    def _warm_framework(self, tiny_config, corpus):
+        from repro.core.config import FrameworkConfig
+        from repro.core.framework import ALBADross
+
+        fw = ALBADross(
+            tiny_config.catalog,
+            FrameworkConfig(
+                n_features=30,
+                model_params={"n_estimators": 6},
+                splitter="hist",
+                warm_start=True,
+            ),
+        )
+        fw.fit_features(corpus["all"])
+        fw.fit_initial(corpus["train"], [r.label for r in corpus["train"]])
+        return fw
+
+    def test_warm_retrain_counts_in_stats(self, tiny_config, corpus, tmp_path):
+        fw = self._warm_framework(tiny_config, corpus)
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(fw)
+        escalation = EscalationQueue(
+            ThresholdController(threshold=0.0, target_rate=None)
+        )
+        with DiagnosisService(
+            registry, max_linger_s=0.01, escalation=escalation
+        ) as service:
+            service.diagnose_many(corpus["pool"][:6])
+            assert len(escalation) > 0
+            version = service.retrain_and_publish(
+                annotator=lambda item: item.run.label, warm=True
+            )
+            assert version is not None
+            snap = service.stats.snapshot()
+            assert snap["warm_refits"] == 1
+            assert snap["model_swaps"] == 1
+
+    def test_cold_retrain_does_not_count(self, tiny_config, corpus, tmp_path):
+        fw = self._warm_framework(tiny_config, corpus)
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(fw)
+        escalation = EscalationQueue(
+            ThresholdController(threshold=0.0, target_rate=None)
+        )
+        with DiagnosisService(
+            registry, max_linger_s=0.01, escalation=escalation
+        ) as service:
+            service.diagnose_many(corpus["pool"][:4])
+            version = service.retrain_and_publish(
+                annotator=lambda item: item.run.label, warm=False
+            )
+            assert version is not None
+            assert service.stats.snapshot()["warm_refits"] == 0
+
+    def test_absorb_warm_grows_model_in_place(self, tiny_config, corpus):
+        fw = self._warm_framework(tiny_config, corpus)
+        model_before = fw.model
+        n_before = len(fw._y_seed)
+        pool = corpus["pool"][:3]
+        fw.absorb(pool, [r.label for r in pool])  # config says warm
+        assert fw.last_absorb_warm is True
+        assert fw.model is model_before  # refit in place, not rebuilt
+        assert len(fw._y_seed) == n_before + 3
+
+    def test_absorb_falls_back_cold_for_exact_models(self, trained, corpus):
+        fw = copy.deepcopy(trained)  # exact splitter: no binned dataset
+        pool = corpus["pool"][:2]
+        fw.absorb(pool, [r.label for r in pool], warm=True)
+        assert fw.last_absorb_warm is False
+
+    def test_warm_snapshot_merges_across_shards(self):
+        from repro.serving.stats import ServiceStats
+
+        a, b = ServiceStats(), ServiceStats()
+        a.record_warm_refit()
+        a.record_warm_refit()
+        b.record_warm_refit()
+        merged = ServiceStats.merge([a.snapshot(), b.snapshot()])
+        assert merged["warm_refits"] == 3
