@@ -172,7 +172,10 @@ class TestEclipseReplay:
             "diagnoses_identical": True,
             "note": (
                 "single shared model => fleet speedup is bounded by "
-                "cpu_count and batching overlap, not by shard count"
+                "cpu_count and batching overlap, not by shard count; "
+                "featurization inside each coalesced micro-batch is "
+                "run-batched (one extraction kernel pass per batch), so "
+                "per-batch latency scales with batch bytes, not run count"
             ),
         }
         _update_results("eclipse_replay", payload)

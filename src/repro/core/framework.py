@@ -32,6 +32,7 @@ from ..mlcore.model_selection import GridSearchCV
 from ..mlcore.preprocessing import MinMaxScaler
 from ..telemetry.catalog import MetricCatalog
 from ..telemetry.collector import RunRecord
+from ..telemetry.corpus import RunCorpus
 from .config import FrameworkConfig
 
 __all__ = ["ALBADross", "Diagnosis", "build_model", "table4_grid"]
@@ -120,18 +121,19 @@ class ALBADross:
         self._y_seed: np.ndarray | None = None
 
     # ------------------------------------------------------------------
-    def fit_features(self, runs: Sequence[RunRecord]) -> "ALBADross":
+    def fit_features(self, runs: Sequence[RunRecord] | RunCorpus) -> "ALBADross":
         """Learn the feature space: extraction drop-mask + Min-Max scaling.
 
         Call with the full training corpus (labeled + unlabeled runs); the
         chi-square selector is fit later, in :meth:`fit_initial`, because it
-        needs labels.
+        needs labels. Extraction is run-batched — a whole campaign is one
+        kernel pass per run-length group, not one per run.
         """
         ds = self.extractor.fit_transform(runs)
         self.scaler = MinMaxScaler(clip=True).fit(ds.X)
         return self
 
-    def _featurize(self, runs: Sequence[RunRecord]) -> np.ndarray:
+    def _featurize(self, runs: Sequence[RunRecord] | RunCorpus) -> np.ndarray:
         if self.scaler is None:
             raise RuntimeError("call fit_features first")
         ds = self.extractor.transform(runs)
@@ -238,12 +240,17 @@ class ALBADross:
         self.model.fit(X_final, y_final)
         return result
 
-    def featurize(self, runs: Sequence[RunRecord]) -> np.ndarray:
+    def featurize(self, runs: Sequence[RunRecord] | RunCorpus) -> np.ndarray:
         """Map raw runs through the fitted extractor→scaler→selector stack.
 
         The serving engine uses this to featurize a coalesced micro-batch
         once, then score it with :meth:`predict_features` in a single
-        vectorized model call.
+        vectorized model call. Record lists route through the run-batched
+        corpus path inside the extractor, so coalescing buys one kernel
+        pass over the whole micro-batch — extraction throughput scales
+        with batch size instead of paying per-run dispatch overhead B
+        times. Accepts a pre-packed
+        :class:`~repro.telemetry.corpus.RunCorpus` too.
         """
         return self._featurize(runs)
 

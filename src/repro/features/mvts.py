@@ -8,6 +8,13 @@ monotonic increase, etc.). This module reproduces that inventory exactly —
 operation over the whole (T, M) run matrix at once: the hot path contains
 no per-metric Python loop.
 
+Every kernel here treats columns independently (all reductions run over
+axis 0 with width-stable accumulation), so the extractor accepts
+arbitrary column counts: *B* runs of equal length can be ``hstack``-ed
+into one ``(T, B*M)`` panel and featurized in a single pass, bit-identical
+to extracting each run separately. The batched pipeline
+(:mod:`repro.features.pipeline`) leans on exactly this contract.
+
 Input series must be NaN-free (the pipeline interpolates first).
 """
 
@@ -43,13 +50,20 @@ def _autocorr(X: np.ndarray, lag: int) -> np.ndarray:
 
 
 def _linfit(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per-column least-squares slope and intercept against time."""
+    """Per-column least-squares slope and intercept against time.
+
+    The time-weighted sum is an explicit ``np.sum`` over axis 0 rather
+    than a ``@`` matmul: BLAS picks its accumulation order from the
+    matrix *width*, so a matmul would make each column's slope depend on
+    how many sibling columns ride in the same call — breaking the
+    bit-identity contract between per-run and run-batched extraction.
+    """
     T = X.shape[0]
     t = np.arange(T, dtype=np.float64)
     t_mean = t.mean()
     t_var = np.sum((t - t_mean) ** 2)
     mu = X.mean(axis=0)
-    slope = ((t - t_mean) @ (X - mu)) / t_var
+    slope = np.sum((t - t_mean)[:, None] * (X - mu), axis=0) / t_var
     intercept = mu - slope * t_mean
     return slope, intercept
 

@@ -761,10 +761,24 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
 
     @property
     def depth_(self) -> int:
-        """Realized tree depth (0 for a stump that never split)."""
-        depth = np.zeros(self.node_count_, dtype=np.int64)
-        for i in range(self.node_count_):
-            if self.tree_feature_[i] != _LEAF:
-                depth[self.tree_left_[i]] = depth[i] + 1
-                depth[self.tree_right_[i]] = depth[i] + 1
-        return int(depth.max()) if self.node_count_ else 0
+        """Realized tree depth (0 for a stump that never split).
+
+        Level-order array sweep: each iteration expands the whole
+        frontier of internal nodes into their children with three array
+        gathers, so the cost is O(depth) numpy calls instead of an
+        O(node_count) Python loop per access (monitors and stats read
+        this per tree per round).
+        """
+        if not self.node_count_:
+            return 0
+        internal = self.tree_feature_ != _LEAF
+        frontier = np.array([0], dtype=np.int64)
+        depth = 0
+        while True:
+            frontier = frontier[internal[frontier]]
+            if not frontier.size:
+                return depth
+            frontier = np.concatenate(
+                [self.tree_left_[frontier], self.tree_right_[frontier]]
+            )
+            depth += 1

@@ -27,7 +27,44 @@ import numpy as np
 from ..parallel.shm import SharedArray
 from .collector import HEALTHY, RunRecord
 
-__all__ = ["RunCorpus"]
+__all__ = ["RunCorpus", "plan_length_groups", "DEFAULT_MAX_PANEL_ELEMS"]
+
+# Cap on T * B * M float64 elements per extraction panel (~32 MB of
+# telemetry); the batched extractor materializes roughly three arrays of
+# this size at once (hstack panel, interpolated copy, differenced output),
+# so the bound keeps peak extra memory around ~100 MB regardless of how
+# large a campaign is featurized in one call.
+DEFAULT_MAX_PANEL_ELEMS = 1 << 22
+
+
+def plan_length_groups(
+    lengths: np.ndarray,
+    n_metrics: int,
+    max_panel_elems: int = DEFAULT_MAX_PANEL_ELEMS,
+) -> list[np.ndarray]:
+    """Plan run-batched extraction panels: group run indices by length.
+
+    Runs whose raw length ``T`` matches trim to the same post-trim length,
+    so their ``(T, M)`` matrices can be ``hstack``-ed into one ``(T, B*M)``
+    panel and preprocessed + featurized in a single kernel pass (every
+    reduction in the extractors is per-column). Returns index arrays into
+    ``lengths``, each holding runs of one identical ``T``; groups larger
+    than ``max_panel_elems / (T * n_metrics)`` runs are split so the panel
+    working set stays bounded. The plan is deterministic: groups are
+    ordered by ``T``, and indices inside a group keep corpus order.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if n_metrics <= 0:
+        raise ValueError(f"n_metrics must be positive, got {n_metrics}")
+    if max_panel_elems <= 0:
+        raise ValueError(f"max_panel_elems must be positive, got {max_panel_elems}")
+    groups: list[np.ndarray] = []
+    for T in np.unique(lengths):
+        idx = np.flatnonzero(lengths == T)
+        per_panel = max(1, int(max_panel_elems // max(1, int(T) * n_metrics)))
+        for lo in range(0, len(idx), per_panel):
+            groups.append(idx[lo:lo + per_panel])
+    return groups
 
 
 @dataclass
@@ -76,6 +113,11 @@ class RunCorpus:
     @property
     def n_metrics(self) -> int:
         return self.buffer.shape[1]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-run raw sample counts ``T_i`` (the group-by key for batching)."""
+        return np.diff(self.offsets)
 
     @property
     def labels(self) -> np.ndarray:

@@ -1,0 +1,293 @@
+"""Run-batched extraction: bit-parity with the per-run path + edge cases.
+
+The batched path hstacks equal-length runs into one ``(T, B*M)`` panel and
+runs preprocessing + extraction once per group. Every test here pins the
+contract that batching is *invisible* in the output bytes: mixed-length
+corpora, single-run groups, constant/sd=0 columns, the error contracts,
+counter-mask alignment, and both worker backends at n_jobs ∈ {1, 2, 4}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.mvts import extract_mvts
+from repro.features.pipeline import (
+    FeatureExtractor,
+    batched_feature_rows,
+    preprocess_run,
+)
+from repro.features.tsfresh_lite import extract_tsfresh
+from repro.telemetry.catalog import build_catalog
+from repro.telemetry.collector import RunRecord
+from repro.telemetry.corpus import (
+    DEFAULT_MAX_PANEL_ELEMS,
+    RunCorpus,
+    plan_length_groups,
+)
+
+_EXTRACT = {"mvts": extract_mvts, "tsfresh": extract_tsfresh}
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(n_cores=1, n_nics=1, n_extra_cray=2)
+
+
+def _mixed_records(catalog, lengths, seed=0, missing_rate=0.02):
+    """Synthetic runs of the given raw lengths sharing one catalog."""
+    rng = np.random.default_rng(seed)
+    M = len(catalog.names)
+    records = []
+    for i, T in enumerate(lengths):
+        data = rng.normal(loc=5.0, scale=2.0, size=(T, M))
+        # counters must accumulate so differencing yields sane rates
+        data[:, catalog.counter_mask] = np.abs(
+            data[:, catalog.counter_mask]
+        ).cumsum(axis=0)
+        if missing_rate:
+            data[rng.random(size=data.shape) < missing_rate] = np.nan
+        records.append(
+            RunRecord(
+                app="CG" if i % 2 else "BT",
+                input_deck=i % 3,
+                node_count=4,
+                node_id=i,
+                anomaly=None if i % 2 else "membw",
+                intensity=0.0 if i % 2 else 1.0,
+                data=data,
+                metric_names=list(catalog.names),
+            )
+        )
+    return records
+
+
+def _per_run_reference(corpus, counter_mask, method):
+    """The historical path: one preprocess + extract call per run."""
+    extract = _EXTRACT[method]
+    return np.vstack([
+        extract(preprocess_run(corpus.run_data(i), counter_mask))
+        for i in range(len(corpus))
+    ])
+
+
+class TestPlanner:
+    def test_groups_partition_all_runs(self):
+        lengths = np.array([64, 96, 64, 128, 96, 64])
+        groups = plan_length_groups(lengths, n_metrics=10)
+        seen = np.sort(np.concatenate(groups))
+        assert np.array_equal(seen, np.arange(len(lengths)))
+        for idx in groups:
+            assert len(np.unique(lengths[idx])) == 1  # one T per panel
+
+    def test_ordering_is_deterministic(self):
+        lengths = np.array([96, 64, 96, 64, 200])
+        a = plan_length_groups(lengths, n_metrics=7)
+        b = plan_length_groups(lengths, n_metrics=7)
+        assert len(a) == len(b)
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga, gb)
+
+    def test_max_panel_elems_splits_groups(self):
+        lengths = np.full(10, 100)
+        # each run is 100 * 5 = 500 elems; cap at 3 runs per panel
+        groups = plan_length_groups(lengths, n_metrics=5, max_panel_elems=1500)
+        assert [len(g) for g in groups] == [3, 3, 3, 1]
+
+    def test_cap_smaller_than_one_run_degrades_to_per_run(self):
+        lengths = np.full(4, 100)
+        groups = plan_length_groups(lengths, n_metrics=5, max_panel_elems=10)
+        assert [len(g) for g in groups] == [1, 1, 1, 1]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="n_metrics"):
+            plan_length_groups(np.array([10]), n_metrics=0)
+        with pytest.raises(ValueError, match="max_panel_elems"):
+            plan_length_groups(np.array([10]), n_metrics=3, max_panel_elems=0)
+
+    def test_corpus_lengths_property(self, catalog):
+        corpus = RunCorpus.from_records(
+            _mixed_records(catalog, [64, 96, 64], seed=1)
+        )
+        assert np.array_equal(corpus.lengths, [64, 96, 64])
+
+
+class TestBatchedBitParity:
+    @pytest.mark.parametrize("method", ["mvts", "tsfresh"])
+    def test_mixed_length_corpus(self, catalog, method):
+        """Multiple T groups in one corpus: batched == per-run, bitwise."""
+        lengths = [64, 96, 64, 128, 96, 64, 128, 64]
+        corpus = RunCorpus.from_records(_mixed_records(catalog, lengths))
+        ref = _per_run_reference(corpus, catalog.counter_mask, method)
+        batched = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), method,
+        )
+        assert np.array_equal(ref, batched)
+
+    @pytest.mark.parametrize("method", ["mvts", "tsfresh"])
+    def test_single_run_groups(self, catalog, method):
+        """All-distinct lengths: every panel holds exactly one run."""
+        corpus = RunCorpus.from_records(
+            _mixed_records(catalog, [64, 80, 96, 112], seed=2)
+        )
+        ref = _per_run_reference(corpus, catalog.counter_mask, method)
+        batched = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), method,
+        )
+        assert np.array_equal(ref, batched)
+
+    @pytest.mark.parametrize("method", ["mvts", "tsfresh"])
+    def test_panel_splitting_does_not_move_bits(self, catalog, method):
+        """A tiny max_panel_elems forces many small panels — same bytes."""
+        corpus = RunCorpus.from_records(
+            _mixed_records(catalog, [64] * 6 + [96] * 3, seed=3)
+        )
+        whole = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), method, max_panel_elems=DEFAULT_MAX_PANEL_ELEMS,
+        )
+        split = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), method, max_panel_elems=64 * len(catalog.names) * 2,
+        )
+        assert np.array_equal(whole, split)
+
+    @pytest.mark.parametrize("method", ["mvts", "tsfresh"])
+    def test_constant_and_all_nan_columns(self, catalog, method):
+        """sd=0 guards (skew, ApEn, variation coefficient …) survive
+        batching: a constant column in one run must not pick up scale
+        from its panel neighbors."""
+        records = _mixed_records(catalog, [64, 64, 96], seed=4, missing_rate=0)
+        records[0].data[:, 3] = 7.5          # constant column
+        records[1].data[:, 5] = np.nan       # all-NaN column -> interpolated to 0
+        corpus = RunCorpus.from_records(records)
+        ref = _per_run_reference(corpus, catalog.counter_mask, method)
+        batched = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), method,
+        )
+        assert np.array_equal(ref, batched)
+
+    def test_counter_mask_alignment_after_trim(self, catalog):
+        """Each run's counters are differenced against its *own* columns:
+        give every run a distinct accumulation rate and check the rate
+        comes back per run after batched trim + diff."""
+        M = len(catalog.names)
+        counters = np.flatnonzero(catalog.counter_mask)
+        records = []
+        for i, T in enumerate([64, 64, 64, 96]):
+            data = np.full((T, M), 3.0)
+            data[:, counters] = float(i + 1) * np.arange(T)[:, None]
+            records.append(
+                RunRecord(
+                    app="CG", input_deck=0, node_count=1, node_id=i,
+                    anomaly=None, intensity=0.0, data=data,
+                    metric_names=list(catalog.names),
+                )
+            )
+        corpus = RunCorpus.from_records(records)
+        rows = batched_feature_rows(
+            corpus.buffer, corpus.offsets, catalog.counter_mask,
+            (0.08, 0.06), "mvts",
+        )
+        n_feats = len(rows[0]) // M
+        for i in range(len(records)):
+            per_metric = rows[i].reshape(M, n_feats)
+            # feature 0 is the mean; a rate-k counter differences to k
+            assert np.allclose(per_metric[counters, 0], float(i + 1))
+            gauges = ~catalog.counter_mask
+            assert np.allclose(per_metric[gauges, 0], 3.0)
+
+
+class TestErrorContracts:
+    def test_too_short_run_raises_like_per_run_path(self, catalog):
+        records = _mixed_records(catalog, [64, 7], seed=5)  # 7 < 8 post-trim
+        corpus = RunCorpus.from_records(records)
+        with pytest.raises(ValueError, match="too short"):
+            _per_run_reference(corpus, catalog.counter_mask, "mvts")
+        with pytest.raises(ValueError, match="too short"):
+            batched_feature_rows(
+                corpus.buffer, corpus.offsets, catalog.counter_mask,
+                (0.08, 0.06), "mvts",
+            )
+
+    @pytest.mark.parametrize("extract", [extract_mvts, extract_tsfresh])
+    def test_nan_contract_on_panels(self, extract):
+        panel = np.ones((32, 6))
+        panel[4, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            extract(panel)
+
+    def test_tsfresh_min_length_contract_on_panels(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            extract_tsfresh(np.ones((7, 4)))
+
+
+class TestEntryPoints:
+    @pytest.mark.parametrize("method", ["mvts", "tsfresh"])
+    def test_record_list_equals_corpus(self, catalog, method):
+        """Satellite: the map_fn-less record-list path routes through the
+        batched corpus path — both entry points, identical matrices."""
+        records = _mixed_records(catalog, [64, 96, 64, 80], seed=6)
+        corpus = RunCorpus.from_records(records)
+        a = FeatureExtractor(catalog, method=method).fit_transform(records)
+        b = FeatureExtractor(catalog, method=method).fit_transform(corpus)
+        assert np.array_equal(a.X, b.X)
+        assert a.feature_names == b.feature_names
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_record_list_equals_legacy_map_fn_path(self, catalog):
+        """The per-run map_fn hook and the batched default agree bitwise."""
+        records = _mixed_records(catalog, [64, 96, 64], seed=7)
+        batched = FeatureExtractor(catalog, method="mvts").fit_transform(records)
+        legacy = FeatureExtractor(catalog, method="mvts", map_fn=map).fit_transform(
+            records
+        )
+        assert np.array_equal(batched.X, legacy.X)
+
+    def test_transform_reuses_batched_path(self, catalog):
+        records = _mixed_records(catalog, [64, 96, 64, 96], seed=8)
+        fe = FeatureExtractor(catalog, method="mvts")
+        fe.fit_transform(records[:2])
+        a = fe.transform(records[2:])
+        b = fe.transform(RunCorpus.from_records(records[2:]))
+        assert np.array_equal(a.X, b.X)
+
+    def test_heterogeneous_record_list_falls_back_per_run(self, catalog):
+        """Records disagreeing on metric names cannot pack — the per-run
+        fallback keeps the historical behavior instead of erroring."""
+        records = _mixed_records(catalog, [64, 64], seed=9)
+        renamed = list(records[1].metric_names)
+        renamed[0] = "rogue_metric"
+        records[1] = RunRecord(
+            app=records[1].app, input_deck=records[1].input_deck,
+            node_count=records[1].node_count, node_id=records[1].node_id,
+            anomaly=records[1].anomaly, intensity=records[1].intensity,
+            data=records[1].data, metric_names=renamed,
+        )
+        ds = FeatureExtractor(catalog, method="mvts").fit_transform(records)
+        assert ds.X.shape[0] == 2
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_n_jobs_bitwise_identical(self, catalog, backend):
+        """Acceptance pin: mixed-length corpus, n_jobs ∈ {1, 2, 4}, both
+        backends — not a single bit moves, and no shm segment leaks."""
+        from repro.parallel import active_segments
+
+        before = set(active_segments())
+        corpus = RunCorpus.from_records(
+            _mixed_records(catalog, [64, 96, 64, 128, 96, 64, 80, 64], seed=10)
+        )
+        serial = FeatureExtractor(catalog, method="mvts", n_jobs=1).fit_transform(
+            corpus
+        )
+        for n_jobs in (2, 4):
+            parallel = FeatureExtractor(
+                catalog, method="mvts", n_jobs=n_jobs, backend=backend
+            ).fit_transform(corpus)
+            assert np.array_equal(serial.X, parallel.X)
+            assert serial.feature_names == parallel.feature_names
+        assert set(active_segments()) == before

@@ -70,6 +70,40 @@ class TestFitBasics:
         assert set(tree.predict(X)) == {"healthy", "membw"}
 
 
+class TestDepthProperty:
+    @staticmethod
+    def _depth_loop(tree) -> int:
+        """The historical O(node_count) reference implementation."""
+        depth = np.zeros(tree.node_count_, dtype=np.int64)
+        for i in range(tree.node_count_):
+            if tree.tree_feature_[i] != -1:
+                depth[tree.tree_left_[i]] = depth[i] + 1
+                depth[tree.tree_right_[i]] = depth[i] + 1
+        return int(depth.max()) if tree.node_count_ else 0
+
+    def test_level_sweep_matches_loop_on_grown_tree(self):
+        X, y = _xor_data(400)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count_ > 3  # actually grew
+        assert tree.depth_ == self._depth_loop(tree)
+
+    @pytest.mark.parametrize("max_depth", [0, 1, 3, 7, None])
+    def test_level_sweep_matches_loop_across_depths(self, max_depth):
+        X, y = _xor_data(300, seed=3)
+        tree = DecisionTreeClassifier(max_depth=max_depth).fit(X, y)
+        assert tree.depth_ == self._depth_loop(tree)
+
+    def test_stump_depth_zero(self):
+        X = np.random.default_rng(1).normal(size=(12, 2))
+        tree = DecisionTreeClassifier().fit(X, np.zeros(12))
+        assert tree.depth_ == 0 == self._depth_loop(tree)
+
+    def test_hist_splitter_parity(self):
+        X, y = _xor_data(256, seed=5)
+        tree = DecisionTreeClassifier(splitter="hist").fit(X, y)
+        assert tree.depth_ == self._depth_loop(tree)
+
+
 class TestCriteria:
     @pytest.mark.parametrize("criterion", ["gini", "entropy"])
     def test_both_criteria_learn(self, criterion):
